@@ -1,0 +1,183 @@
+// Package aimt is a reproduction of "A Multi-Neural Network
+// Acceleration Architecture" (Baek, Kwon, Kim — ISCA 2020): a
+// cycle-level simulator of a TPU-like multi-array systolic accelerator
+// together with the AI-MT hardware sub-layer scheduler, the paper's
+// baseline policies, its workload mixes, and drivers that regenerate
+// every table and figure of the evaluation.
+//
+// The typical flow is: pick a hardware Config (PaperConfig reproduces
+// Table I), build or load networks (the Table II zoo is exported
+// here), Compile each into a sub-layer scheduling table, and Run a
+// co-located set under a Scheduler:
+//
+//	cfg := aimt.PaperConfig()
+//	rn50, _ := aimt.Compile(aimt.ResNet50(), cfg, 1)
+//	gnmt, _ := aimt.Compile(aimt.GNMT(), cfg, 1)
+//	res, _ := aimt.Run(cfg, []*aimt.Compiled{rn50, gnmt},
+//	    aimt.NewAIMT(cfg, aimt.AllMechanisms()), aimt.RunOptions{})
+//	fmt.Println(res.Makespan, res.PEUtilization())
+//
+// The experiment drivers (Fig5Data ... Table3Rows) regenerate the
+// paper's evaluation; see EXPERIMENTS.md.
+package aimt
+
+import (
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+	"aimt/internal/core"
+	"aimt/internal/nn"
+	"aimt/internal/sched"
+	"aimt/internal/sim"
+	"aimt/internal/workload"
+)
+
+// Config describes the simulated hardware; see arch.Config.
+type Config = arch.Config
+
+// Cycles counts accelerator clock cycles.
+type Cycles = arch.Cycles
+
+// Bytes counts storage or traffic.
+type Bytes = arch.Bytes
+
+// Byte-quantity constants re-exported for configuration literals.
+const (
+	KiB = arch.KiB
+	MiB = arch.MiB
+	GiB = arch.GiB
+)
+
+// Network is a shape-level neural network model; see nn.Network.
+type Network = nn.Network
+
+// NetworkBuilder constructs custom networks; see nn.Builder.
+type NetworkBuilder = nn.Builder
+
+// Compiled is a network lowered to the accelerator's sub-layer
+// scheduling table; see compiler.CompiledNetwork.
+type Compiled = compiler.CompiledNetwork
+
+// Scheduler decides block issue order; see sim.Scheduler.
+type Scheduler = sim.Scheduler
+
+// Result summarizes a simulation run; see sim.Result.
+type Result = sim.Result
+
+// RunOptions tunes a simulation run; see sim.Options.
+type RunOptions = sim.Options
+
+// Tracer receives occupancy intervals; see sim.Tracer.
+type Tracer = sim.Tracer
+
+// Mix is a compiled co-location scenario; see workload.Mix.
+type Mix = workload.Mix
+
+// MixSpec names a co-location scenario; see workload.Spec.
+type MixSpec = workload.Spec
+
+// PaperConfig returns the Table I hardware configuration.
+func PaperConfig() Config {
+	cfg := arch.PaperConfig()
+	if err := cfg.Validate(); err != nil {
+		panic(err) // the built-in preset is always valid
+	}
+	return cfg
+}
+
+// TPUv2Config returns the unscaled two-array 16-bit baseline the
+// paper's hardware is derived from (§II-B).
+func TPUv2Config() Config {
+	cfg := arch.TPUv2Config()
+	if err := cfg.Validate(); err != nil {
+		panic(err) // the built-in preset is always valid
+	}
+	return cfg
+}
+
+// NewNetwork starts a custom network with the given input shape.
+func NewNetwork(name string, inC, inH, inW int) *NetworkBuilder {
+	return nn.NewBuilder(name, inC, inH, inW)
+}
+
+// Model zoo (Table II).
+var (
+	// ResNet34 returns the 36-CONV/1-FC residual network.
+	ResNet34 = nn.ResNet34
+	// ResNet50 returns the 53-CONV/1-FC bottleneck residual network.
+	ResNet50 = nn.ResNet50
+	// VGG16 returns the 13-CONV/3-FC network with large FC layers.
+	VGG16 = nn.VGG16
+	// MobileNet returns the 27-CONV/1-FC depthwise-separable network.
+	MobileNet = nn.MobileNet
+	// GNMT returns the 6-FC recurrent translation model abstraction.
+	GNMT = nn.GNMT
+	// NetworkByName resolves a zoo network from its short or long name.
+	NetworkByName = nn.ByName
+)
+
+// Compile lowers a network onto the hardware at the given batch size,
+// producing its sub-layer scheduling table.
+func Compile(net *Network, cfg Config, batch int) (*Compiled, error) {
+	return compiler.Compile(net, cfg, batch)
+}
+
+// Run simulates the co-located execution of the compiled networks
+// under the scheduler; all networks arrive at cycle zero.
+func Run(cfg Config, nets []*Compiled, s Scheduler, opts RunOptions) (*Result, error) {
+	return sim.Run(cfg, nets, s, opts)
+}
+
+// Baseline schedulers (§III-B, Fig 6).
+
+// NewFIFO returns the network-serial baseline with double-buffered
+// weight prefetching.
+func NewFIFO() Scheduler { return sched.NewFIFO() }
+
+// NewRR returns the round-robin baseline.
+func NewRR() Scheduler { return sched.NewRR() }
+
+// NewGreedy returns the size-matching greedy baseline.
+func NewGreedy() Scheduler { return sched.NewGreedy() }
+
+// NewGreedyPrefetch returns greedy with capacity-bounded (rather than
+// double-buffered) prefetching, the Fig 16 variant.
+func NewGreedyPrefetch() Scheduler { return sched.NewGreedyPrefetch() }
+
+// NewSJF returns the shortest-job-first baseline.
+func NewSJF() Scheduler { return sched.NewSJF() }
+
+// NewComputeFirst returns the Fig 9a static order: compute-intensive
+// networks first, capacity-bounded prefetching. memHeavy flags the
+// memory-intensive network instances.
+func NewComputeFirst(memHeavy []bool) Scheduler { return sched.NewComputeFirst(memHeavy) }
+
+// NewPREMA returns the simplified PREMA reimplementation (Choi & Rhu,
+// HPCA 2020) — token-based preemptive time-multiplexing at layer
+// granularity, the related work the paper contrasts AI-MT with in
+// §VII-C. priority is the per-network token rate (nil = equal).
+func NewPREMA(priority []float64) Scheduler { return sched.NewPREMA(priority) }
+
+// Mechanisms selects active AI-MT mechanisms; see core.Mechanisms.
+type Mechanisms = core.Mechanisms
+
+// PrefetchOnly enables only MB prefetching (Fig 14 first bar).
+func PrefetchOnly() Mechanisms { return core.Prefetch() }
+
+// PrefetchMerge enables MB prefetching and CB merging.
+func PrefetchMerge() Mechanisms { return core.PrefetchMerge() }
+
+// AllMechanisms enables prefetching, merging and early MB eviction
+// with CB split — the full AI-MT design.
+func AllMechanisms() Mechanisms { return core.All() }
+
+// NewAIMT returns the AI-MT scheduler with the given mechanism set.
+func NewAIMT(cfg Config, m Mechanisms) *core.AIMT { return core.New(cfg, m) }
+
+// PaperMixes returns the eight co-location scenarios of Figs 7/8/14.
+func PaperMixes() []MixSpec { return workload.PaperMixes() }
+
+// BuildMix compiles and load-balances a co-location scenario at the
+// given batch size.
+func BuildMix(cfg Config, spec MixSpec, batch int) (*Mix, error) {
+	return workload.Build(cfg, spec, workload.BuildOptions{Batch: batch})
+}

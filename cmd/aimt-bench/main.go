@@ -1,0 +1,50 @@
+// Command aimt-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aimt-bench             # regenerate everything, in paper order
+//	aimt-bench -exp fig14  # one experiment
+//	aimt-bench -list       # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aimt"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (empty = all)")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	exps := aimt.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := aimt.PaperConfig()
+	ran := false
+	for _, e := range exps {
+		if *exp != "" && e.ID != *exp {
+			continue
+		}
+		ran = true
+		if err := e.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "aimt-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "aimt-bench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}

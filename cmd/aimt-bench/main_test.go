@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// The bench CLI is a thin dispatcher over aimt.Experiments(); exercise
+// the binary end-to-end for the fast experiments.
+func TestBenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the built binary")
+	}
+	bin := t.TempDir() + "/aimt-bench"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	for _, args := range [][]string{
+		{"-list"},
+		{"-exp", "table1"},
+		{"-exp", "table3"},
+		{"-exp", "fig5"},
+		{"-exp", "spatial"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Errorf("%v: %v\n%s", args, err, out)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%v produced no output", args)
+		}
+	}
+	if err := exec.Command(bin, "-exp", "bogus").Run(); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}

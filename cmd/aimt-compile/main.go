@@ -1,0 +1,86 @@
+// Command aimt-compile lowers a network onto the accelerator and
+// emits its artifacts: the sub-layer scheduling table (the metadata
+// the AI-MT hardware scheduler consumes), the TPU-like CISC
+// instruction stream, or the binary program file.
+//
+// Usage:
+//
+//	aimt-compile -net RN50                  # scheduling table
+//	aimt-compile -net VGG16 -batch 8 -asm   # instruction listing
+//	aimt-compile -net GNMT -o gnmt.aimt     # binary program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aimt"
+	"aimt/internal/compiler"
+	"aimt/internal/isa"
+)
+
+func main() {
+	var (
+		netName = flag.String("net", "RN50", "zoo network: RN34|RN50|VGG16|MN|GNMT")
+		batch   = flag.Int("batch", 1, "batch size")
+		asm     = flag.Bool("asm", false, "print the instruction listing instead of the table")
+		out     = flag.String("o", "", "write the binary program to this file")
+	)
+	flag.Parse()
+
+	if err := run(*netName, *batch, *asm, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "aimt-compile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netName string, batch int, asm bool, out string) error {
+	cfg := aimt.PaperConfig()
+	net, err := aimt.NetworkByName(netName)
+	if err != nil {
+		return err
+	}
+	cn, err := aimt.Compile(net, cfg, batch)
+	if err != nil {
+		return err
+	}
+	prog := isa.Lower(cn)
+	if err := prog.Validate(); err != nil {
+		return err
+	}
+
+	switch {
+	case out != "":
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := prog.Encode(f); err != nil {
+			return err
+		}
+		s := prog.Stats()
+		fmt.Printf("wrote %s: %d instructions, %d weight bytes, est. %d mem / %d PE cycles\n",
+			out, len(prog.Instructions), s.WeightBytes, s.MemCycles, s.PECycles)
+		return nil
+	case asm:
+		return prog.Disassemble(os.Stdout)
+	default:
+		printTable(cn)
+		return nil
+	}
+}
+
+func printTable(cn *compiler.CompiledNetwork) {
+	fmt.Printf("sub-layer scheduling table: %s, batch %d\n\n", cn.Name, cn.Batch)
+	fmt.Printf("%3s  %-14s %-7s %6s %9s %9s %7s %12s  %s\n",
+		"#", "layer", "type", "iters", "MB cyc", "CB cyc", "blocks", "weights", "deps")
+	for i, l := range cn.Layers {
+		fmt.Printf("%3d  %-14s %-7s %6d %9d %9d %7d %12d  %v\n",
+			i, l.Name, l.Type, l.Iters, l.MBCycles, l.CBCycles, l.MBBlocks, l.TotalWeightBytes(), l.Deps)
+	}
+	s := cn.Stats()
+	fmt.Printf("\ntotals: %d sub-layers, %d MB cycles, %d CB cycles, %d weight bytes\n",
+		s.SubLayers, s.MBCycles, s.CBCycles, s.WeightBytes)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aimt/internal/isa"
+)
+
+func TestRunTable(t *testing.T) {
+	if err := run("GNMT", 1, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAsm(t *testing.T) {
+	if err := run("MN", 2, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBinaryRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rn50.aimt")
+	if err := run("RN50", 4, false, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	prog, err := isa.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "ResNet50" || prog.Batch != 4 {
+		t.Errorf("decoded header = %q/%d", prog.Name, prog.Batch)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if err := run("nope", 1, false, ""); err == nil {
+		t.Error("unknown network accepted")
+	}
+	if err := run("RN50", 0, false, ""); err == nil {
+		t.Error("zero batch accepted")
+	}
+	if err := run("RN50", 1, false, "/nonexistent-dir/x.aimt"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

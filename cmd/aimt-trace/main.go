@@ -1,0 +1,106 @@
+// Command aimt-trace runs one co-location scenario and emits its
+// execution timeline: an ASCII Gantt chart on stdout (like the
+// paper's Figs 6/12/13) and, optionally, Chrome trace_event JSON for
+// chrome://tracing or Perfetto.
+//
+// Usage:
+//
+//	aimt-trace -mix "RN50/GNMT" -sched aimt-all
+//	aimt-trace -mix "RN34/GNMT" -sched rr -json trace.json -width 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aimt"
+	"aimt/internal/trace"
+	"aimt/internal/workload"
+)
+
+func main() {
+	var (
+		mixSpec = flag.String("mix", "RN50/GNMT", "co-location spec: compute nets / memory nets")
+		sched   = flag.String("sched", "aimt-all", "scheduler: fifo|rr|greedy|sjf|aimt-pf|aimt-merge|aimt-all")
+		batch   = flag.Int("batch", 1, "batch size")
+		width   = flag.Int("width", 100, "Gantt chart width in columns")
+		jsonOut = flag.String("json", "", "write Chrome trace_event JSON to this file")
+		util    = flag.Int("util", 0, "also print a utilization time series with this many windows")
+	)
+	flag.Parse()
+
+	if err := run(*mixSpec, *sched, *batch, *width, *jsonOut, *util); err != nil {
+		fmt.Fprintln(os.Stderr, "aimt-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mixSpec, sched string, batch, width int, jsonOut string, utilWindows int) error {
+	cfg := aimt.PaperConfig()
+	spec, err := workload.ParseSpec(mixSpec)
+	if err != nil {
+		return err
+	}
+	mix, err := workload.Build(cfg, spec, workload.BuildOptions{Batch: batch})
+	if err != nil {
+		return err
+	}
+
+	var s aimt.Scheduler
+	switch sched {
+	case "fifo":
+		s = aimt.NewFIFO()
+	case "rr":
+		s = aimt.NewRR()
+	case "greedy":
+		s = aimt.NewGreedy()
+	case "sjf":
+		s = aimt.NewSJF()
+	case "aimt-pf":
+		s = aimt.NewAIMT(cfg, aimt.PrefetchOnly())
+	case "aimt-merge":
+		s = aimt.NewAIMT(cfg, aimt.PrefetchMerge())
+	case "aimt-all", "aimt":
+		s = aimt.NewAIMT(cfg, aimt.AllMechanisms())
+	default:
+		return fmt.Errorf("unknown scheduler %q", sched)
+	}
+
+	rec := &trace.Recorder{}
+	res, err := aimt.Run(cfg, mix.Nets, s, aimt.RunOptions{Tracer: rec})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("mix %s under %s: makespan %d cycles, PE %.1f%%, mem %.1f%%\n",
+		mix.Name, res.Scheduler, res.Makespan, 100*res.PEUtilization(), 100*res.MemUtilization())
+	for i, name := range res.NetNames {
+		fmt.Printf("  net %d = %s\n", i, name)
+	}
+	fmt.Print(rec.Gantt(res.Makespan, width))
+
+	if utilWindows > 0 {
+		window := res.Makespan / aimt.Cycles(utilWindows)
+		if window < 1 {
+			window = 1
+		}
+		fmt.Println("\nwindow-start  mem-util  pe-util")
+		for _, p := range rec.UtilizationSeries(res.Makespan, window) {
+			fmt.Printf("%12d  %8.2f  %7.2f\n", p.Start, p.Mem, p.PE)
+		}
+	}
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", len(rec.Events), jsonOut)
+	}
+	return nil
+}

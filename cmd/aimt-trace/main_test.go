@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunProducesTraceAndJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run("MN/GNMT", "aimt-all", 1, 60, out, 10); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty trace file")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nonsense", "rr", 1, 60, "", 0); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if err := run("MN/GNMT", "warp-drive", 1, 60, "", 0); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+}
+
+func TestAllTraceSchedulers(t *testing.T) {
+	for _, s := range []string{"fifo", "rr", "greedy", "sjf", "aimt-pf", "aimt-merge", "aimt"} {
+		if err := run("MN/GNMT", s, 1, 40, "", 0); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"strings"
+
+	"testing"
+
+	"aimt"
+	"aimt/internal/isa"
+	"aimt/internal/workload"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want aimt.Bytes
+	}{
+		{"512KiB", 512 * aimt.KiB},
+		{"512KB", 512 * aimt.KiB},
+		{"2MiB", 2 * aimt.MiB},
+		{"1GiB", 1 * aimt.GiB},
+		{"1.5MiB", aimt.MiB + 512*aimt.KiB},
+		{"65536", 65536},
+	}
+	for _, tc := range cases {
+		got, err := parseBytes(tc.in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if _, err := parseBytes("lots"); err == nil {
+		t.Error("parseBytes(lots) succeeded")
+	}
+}
+
+func TestMakeScheduler(t *testing.T) {
+	cfg := aimt.PaperConfig()
+	mix := &workload.Mix{MemHeavy: []bool{false, true}}
+	for _, name := range []string{"fifo", "rr", "greedy", "sjf", "compute-first", "aimt-pf", "aimt-merge", "aimt-all", "aimt"} {
+		s, err := makeScheduler(name, cfg, mix)
+		if err != nil {
+			t.Errorf("makeScheduler(%q): %v", name, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("%q produced unnamed scheduler", name)
+		}
+	}
+	if _, err := makeScheduler("bogus", cfg, mix); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+// TestRunEndToEnd drives the CLI's core path on a small scenario.
+func TestRunEndToEnd(t *testing.T) {
+	if err := run("MN/GNMT", "", "aimt-all", 1, 1, "2MiB", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("bad spec", "", "fifo", 1, 1, "", false); err == nil {
+		t.Error("bad mix spec accepted")
+	}
+	if err := run("MN/GNMT", "", "fifo", 1, 1, "nonsense-size", false); err == nil {
+		t.Error("bad SRAM size accepted")
+	}
+}
+
+// TestRunFromPrograms exercises the binary-program path end to end:
+// compile two networks to .aimt files, then co-locate them from disk.
+func TestRunFromPrograms(t *testing.T) {
+	cfg := aimt.PaperConfig()
+	dir := t.TempDir()
+	var paths []string
+	for _, name := range []string{"MN", "GNMT"} {
+		net, err := aimt.NetworkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := aimt.Compile(net, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + name + ".aimt"
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := isa.Lower(cn).Encode(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, path)
+	}
+	if err := run("", strings.Join(paths, ","), "aimt-all", 1, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", dir+"/missing.aimt", "fifo", 1, 1, "", false); err == nil {
+		t.Error("missing program accepted")
+	}
+	if err := run("", " , ", "fifo", 1, 1, "", false); err == nil {
+		t.Error("empty program list accepted")
+	}
+}

@@ -1,0 +1,59 @@
+// Tenant priorities: a latency-sensitive service shares the
+// accelerator with batch workloads. Two ways to favor it:
+//
+//   - PREMA-style preemptive time-multiplexing (related work the paper
+//     contrasts in §VII-C): the favored tenant owns the machine, so it
+//     finishes fast — but total throughput suffers because compute and
+//     memory never overlap across tenants.
+//   - Weighted AI-MT scheduling (this repository's extension): the
+//     favored tenant's blocks are scanned first, but blocks from all
+//     tenants still co-execute — priority nearly for free.
+//
+// The example favors one GNMT translation request co-located with a
+// ResNet-34 vision stream and prints both policies' trade-offs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aimt"
+)
+
+func main() {
+	cfg := aimt.PaperConfig()
+	mix, err := aimt.BuildMix(cfg, aimt.PaperMixes()[0], 1) // RN34 + GNMT
+	if err != nil {
+		log.Fatal(err)
+	}
+	favored := 1 // the first GNMT instance
+	weights := make([]float64, len(mix.Nets))
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[favored] = 8
+
+	type policy struct {
+		name string
+		s    aimt.Scheduler
+	}
+	policies := []policy{
+		{"AI-MT uniform", aimt.NewAIMT(cfg, aimt.AllMechanisms())},
+		{"AI-MT weighted", aimt.NewAIMT(cfg, aimt.AllMechanisms()).SetPriorities(weights)},
+		{"PREMA weighted", aimt.NewPREMA(weights)},
+	}
+
+	fmt.Printf("favoring tenant %d (%s) in mix %s\n\n", favored, mix.Nets[favored].Name, mix.Name)
+	fmt.Printf("%-16s %16s %12s %9s\n", "policy", "tenant latency", "makespan", "PE util")
+	for _, p := range policies {
+		res, err := aimt.Run(cfg, mix.Nets, p.s, aimt.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %16d %12d %8.1f%%\n",
+			p.name, res.NetFinish[favored], res.Makespan, 100*res.PEUtilization())
+	}
+	fmt.Println("\nWeighted AI-MT cuts the favored tenant's latency at zero")
+	fmt.Println("makespan cost; PREMA cuts it slightly further but pays for it")
+	fmt.Println("with a much longer makespan (no cross-tenant overlap).")
+}

@@ -1,0 +1,47 @@
+// Quickstart: compile two networks from the model zoo, co-locate them
+// on the simulated accelerator, and compare the AI-MT scheduler
+// against the network-serial baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aimt"
+)
+
+func main() {
+	// Table I hardware: 16x 128x128 PE arrays, 450 GB/s HBM, 1 MB
+	// weight SRAM.
+	cfg := aimt.PaperConfig()
+
+	// Lower a compute-intensive CNN and a memory-intensive RNN onto
+	// the accelerator at batch 1.
+	rn50, err := aimt.Compile(aimt.ResNet50(), cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gnmt, err := aimt.Compile(aimt.GNMT(), cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nets := []*aimt.Compiled{rn50, gnmt}
+
+	// Run the same co-located workload under both policies.
+	baseline, err := aimt.Run(cfg, nets, aimt.NewFIFO(), aimt.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi, err := aimt.Run(cfg, nets, aimt.NewAIMT(cfg, aimt.AllMechanisms()), aimt.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: ResNet50 + GNMT, batch 1 on %s\n\n", cfg)
+	for _, r := range []*aimt.Result{baseline, multi} {
+		fmt.Printf("%-12s makespan %8d cycles   PE %5.1f%%   memory %5.1f%%\n",
+			r.Scheduler, r.Makespan, 100*r.PEUtilization(), 100*r.MemUtilization())
+	}
+	fmt.Printf("\nAI-MT speedup over network-serial execution: %.2fx\n",
+		float64(baseline.Makespan)/float64(multi.Makespan))
+}

@@ -1,0 +1,608 @@
+package aimt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"aimt/internal/analysis"
+	"aimt/internal/arch"
+	"aimt/internal/metrics"
+	"aimt/internal/nn"
+	"aimt/internal/power"
+	"aimt/internal/workload"
+)
+
+// This file contains the drivers that regenerate every table and
+// figure of the paper's evaluation (§V). Each FigNData/TableNRows
+// function returns structured results; the matching PrintFigN/
+// PrintTableN renders them as the rows/series the paper reports.
+// cmd/aimt-bench and bench_test.go are thin wrappers over these.
+
+// LayerRatio re-exports analysis.LayerRatio for Fig 5 consumers.
+type LayerRatio = analysis.LayerRatio
+
+// Fig5Data returns VGG16's per-layer computation vs memory-prefetch
+// latency split (paper Fig 5).
+func Fig5Data(cfg Config) ([]LayerRatio, error) {
+	cn, err := Compile(VGG16(), cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.LatencyRatios(cn), nil
+}
+
+// PrintFig5 renders Fig 5.
+func PrintFig5(w io.Writer, cfg Config) error {
+	rows, err := Fig5Data(cfg)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("layer", "compute%", "memory%", "CB cycles", "MB cycles")
+	for _, r := range rows {
+		t.AddRow(r.Name, metrics.Pct(r.ComputeFraction()), metrics.Pct(1-r.ComputeFraction()),
+			fmt.Sprint(r.ComputeCycles), fmt.Sprint(r.MemoryCycles))
+	}
+	_, err = fmt.Fprintf(w, "Fig 5: computation vs memory-prefetch latency per VGG16 layer\n%s", t)
+	return err
+}
+
+// MixOutcome is one co-location mix's result under one scheduler.
+type MixOutcome struct {
+	// Mix is the annotated mix name (with replication factor).
+	Mix string
+	// Scheduler is the policy name.
+	Scheduler string
+	// Speedup is the makespan ratio over the FIFO baseline.
+	Speedup float64
+	// MemUtil and PEUtil are whole-run busy fractions.
+	MemUtil, PEUtil float64
+	// Splits counts compute-block halts.
+	Splits int
+}
+
+// runMixes simulates every paper mix at the given batch under the
+// schedulers produced by mk (called fresh per run — schedulers carry
+// state) and returns outcomes keyed in input order, FIFO included
+// first as the baseline.
+func runMixes(cfg Config, batch int, names []string, mk func(name string, mix *workload.Mix) Scheduler) ([]MixOutcome, error) {
+	var out []MixOutcome
+	for _, spec := range PaperMixes() {
+		mix, err := BuildMix(cfg, spec, batch)
+		if err != nil {
+			return nil, err
+		}
+		base, err := Run(cfg, mix.Nets, NewFIFO(), RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("%s under FIFO: %w", mix.Name, err)
+		}
+		for _, name := range names {
+			s := mk(name, mix)
+			res, err := Run(cfg, mix.Nets, s, RunOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", mix.Name, s.Name(), err)
+			}
+			out = append(out, MixOutcome{
+				Mix:       mix.Name,
+				Scheduler: s.Name(),
+				Speedup:   metrics.Speedup(base, res),
+				MemUtil:   res.MemUtilization(),
+				PEUtil:    res.PEUtilization(),
+				Splits:    res.Splits,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig7Data returns compute and memory-bandwidth utilization under the
+// round-robin scheduler for every paper mix (paper Fig 7).
+func Fig7Data(cfg Config) ([]MixOutcome, error) {
+	return runMixes(cfg, 1, []string{"RR"}, func(string, *workload.Mix) Scheduler { return NewRR() })
+}
+
+// PrintFig7 renders Fig 7.
+func PrintFig7(w io.Writer, cfg Config) error {
+	rows, err := Fig7Data(cfg)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("mix", "compute util", "memory BW util")
+	for _, r := range rows {
+		t.AddRow(r.Mix, metrics.Pct(r.PEUtil), metrics.Pct(r.MemUtil))
+	}
+	_, err = fmt.Fprintf(w, "Fig 7: utilization under sub-layer round-robin scheduling\n%s", t)
+	return err
+}
+
+// Fig8Data returns RR, Greedy and SJF speedups over sub-layer FIFO for
+// every paper mix (paper Fig 8).
+func Fig8Data(cfg Config) ([]MixOutcome, error) {
+	return runMixes(cfg, 1, []string{"RR", "Greedy", "SJF"}, func(name string, _ *workload.Mix) Scheduler {
+		switch name {
+		case "RR":
+			return NewRR()
+		case "Greedy":
+			return NewGreedy()
+		default:
+			return NewSJF()
+		}
+	})
+}
+
+// PrintFig8 renders Fig 8.
+func PrintFig8(w io.Writer, cfg Config) error {
+	rows, err := Fig8Data(cfg)
+	if err != nil {
+		return err
+	}
+	return printSpeedupTable(w, "Fig 8: baseline scheduling mechanisms, speedup over FIFO", rows)
+}
+
+// Fig14Data returns the AI-MT ablation — prefetching, +merging,
+// +eviction — as speedup over FIFO per mix at batch 1 (paper Fig 14).
+func Fig14Data(cfg Config) ([]MixOutcome, error) {
+	return runMixes(cfg, 1, []string{"PF", "Merge", "All"}, func(name string, _ *workload.Mix) Scheduler {
+		switch name {
+		case "PF":
+			return NewAIMT(cfg, PrefetchOnly())
+		case "Merge":
+			return NewAIMT(cfg, PrefetchMerge())
+		default:
+			return NewAIMT(cfg, AllMechanisms())
+		}
+	})
+}
+
+// PrintFig14 renders Fig 14.
+func PrintFig14(w io.Writer, cfg Config) error {
+	rows, err := Fig14Data(cfg)
+	if err != nil {
+		return err
+	}
+	return printSpeedupTable(w, "Fig 14: AI-MT speedup over network-serial execution (batch 1)", rows)
+}
+
+func printSpeedupTable(w io.Writer, title string, rows []MixOutcome) error {
+	scheds := orderedSchedulers(rows)
+	byMix := map[string]map[string]float64{}
+	var mixes []string
+	for _, r := range rows {
+		if byMix[r.Mix] == nil {
+			byMix[r.Mix] = map[string]float64{}
+			mixes = append(mixes, r.Mix)
+		}
+		byMix[r.Mix][r.Scheduler] = r.Speedup
+	}
+	t := metrics.NewTable(append([]string{"mix"}, scheds...)...)
+	for _, m := range mixes {
+		cells := []string{m}
+		for _, s := range scheds {
+			cells = append(cells, metrics.F(byMix[m][s]))
+		}
+		t.AddRow(cells...)
+	}
+	geo := []string{"geomean"}
+	for _, s := range scheds {
+		var vals []float64
+		for _, m := range mixes {
+			vals = append(vals, byMix[m][s])
+		}
+		geo = append(geo, metrics.F(metrics.GeoMean(vals)))
+	}
+	t.AddRow(geo...)
+	_, err := fmt.Fprintf(w, "%s\n%s", title, t)
+	return err
+}
+
+func orderedSchedulers(rows []MixOutcome) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Scheduler] {
+			seen[r.Scheduler] = true
+			out = append(out, r.Scheduler)
+		}
+	}
+	return out
+}
+
+// BatchPoint is one point of the Fig 15 batch-size sensitivity study.
+type BatchPoint struct {
+	// Mix is the annotated mix name.
+	Mix string
+	// Batch is the batch size.
+	Batch int
+	// MergeSpeedup and AllSpeedup are PF+Merge and full AI-MT speedups
+	// over FIFO at this batch.
+	MergeSpeedup, AllSpeedup float64
+	// Splits counts halts in the full-AI-MT run.
+	Splits int
+}
+
+// Fig15Batches are the batch sizes swept by Fig 15.
+var Fig15Batches = []int{1, 2, 4, 8, 16, 32}
+
+// Fig15Data sweeps batch size for the CNN+GNMT mixes, comparing
+// prefetch+merge against the full design with early MB eviction
+// (paper Fig 15). The input/output SRAM is assumed large enough for
+// the features (paper §V-C), which the simulator models by not
+// constraining feature residency.
+func Fig15Data(cfg Config, batches []int) ([]BatchPoint, error) {
+	if len(batches) == 0 {
+		batches = Fig15Batches
+	}
+	var out []BatchPoint
+	for _, spec := range workload.GNMTMixes() {
+		for _, b := range batches {
+			mix, err := BuildMix(cfg, spec, b)
+			if err != nil {
+				return nil, err
+			}
+			base, err := Run(cfg, mix.Nets, NewFIFO(), RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			mg, err := Run(cfg, mix.Nets, NewAIMT(cfg, PrefetchMerge()), RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			all, err := Run(cfg, mix.Nets, NewAIMT(cfg, AllMechanisms()), RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BatchPoint{
+				Mix:          spec.Name,
+				Batch:        b,
+				MergeSpeedup: metrics.Speedup(base, mg),
+				AllSpeedup:   metrics.Speedup(base, all),
+				Splits:       all.Splits,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintFig15 renders Fig 15.
+func PrintFig15(w io.Writer, cfg Config) error {
+	pts, err := Fig15Data(cfg, nil)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("mix", "batch", "PF+Merge", "AI-MT (All)", "splits")
+	for _, p := range pts {
+		t.AddRow(p.Mix, fmt.Sprint(p.Batch), metrics.F(p.MergeSpeedup), metrics.F(p.AllSpeedup), fmt.Sprint(p.Splits))
+	}
+	_, err = fmt.Fprintf(w, "Fig 15: batch-size sensitivity, speedup over FIFO\n%s", t)
+	return err
+}
+
+// SRAMPoint is one point of the Fig 16 SRAM-capacity sensitivity study.
+type SRAMPoint struct {
+	// SRAM is the weight-buffer capacity.
+	SRAM Bytes
+	// Speedups keys scheduler name to speedup over FIFO at this size.
+	Speedups map[string]float64
+}
+
+// Fig16Sizes are the weight-SRAM capacities swept by Fig 16.
+var Fig16Sizes = []Bytes{256 * KiB, 512 * KiB, 1 * MiB, 2 * MiB, 4 * MiB, 16 * MiB, 64 * MiB, 256 * MiB, 1 * GiB, 4 * GiB}
+
+// Fig16Data sweeps the weight-SRAM capacity for the combined
+// CNNs+GNMT mix executed iteratively (the continuous-arrival cloud
+// scenario), comparing the naive compute-first order and the greedy
+// mechanism — both with capacity-bounded prefetching — against full
+// AI-MT (paper Fig 16). Speedups are over FIFO at the same capacity.
+func Fig16Data(cfg Config, sizes []Bytes) ([]SRAMPoint, error) {
+	if len(sizes) == 0 {
+		sizes = Fig16Sizes
+	}
+	spec := PaperMixes()[3] // RN34+RN50+MN+GNMT
+	var out []SRAMPoint
+	for _, sz := range sizes {
+		c := cfg
+		c.WeightSRAM = sz
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		mix, err := workload.Build(c, spec, workload.BuildOptions{Batch: 8, Iterations: 2})
+		if err != nil {
+			return nil, err
+		}
+		base, err := Run(c, mix.Nets, NewFIFO(), RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		pt := SRAMPoint{SRAM: sz, Speedups: map[string]float64{}}
+		runs := []struct {
+			key string
+			s   Scheduler
+		}{
+			{"ComputeFirst+PF", NewComputeFirst(mix.MemHeavy)},
+			{"Greedy+PF", NewGreedyPrefetch()},
+			{"AI-MT", NewAIMT(c, AllMechanisms())},
+		}
+		for _, r := range runs {
+			res, err := Run(c, mix.Nets, r.s, RunOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("fig16 %s at %s: %w", r.key, arch.FormatBytes(sz), err)
+			}
+			pt.Speedups[r.key] = metrics.Speedup(base, res)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// PrintFig16 renders Fig 16.
+func PrintFig16(w io.Writer, cfg Config) error {
+	pts, err := Fig16Data(cfg, nil)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("weight SRAM", "ComputeFirst+PF", "Greedy+PF", "AI-MT")
+	for _, p := range pts {
+		t.AddRow(arch.FormatBytes(p.SRAM),
+			metrics.F(p.Speedups["ComputeFirst+PF"]),
+			metrics.F(p.Speedups["Greedy+PF"]),
+			metrics.F(p.Speedups["AI-MT"]))
+	}
+	_, err = fmt.Fprintf(w, "Fig 16: SRAM-capacity sensitivity, speedup over FIFO (batch 8, iterated)\n%s", t)
+	return err
+}
+
+// Fig10Data returns, per network, the per-layer prefetch SRAM demand
+// estimate (paper Fig 10).
+func Fig10Data(cfg Config) (map[string][]analysis.PrefetchDemand, error) {
+	out := map[string][]analysis.PrefetchDemand{}
+	for name, net := range nn.Zoo() {
+		cn, err := Compile(net, cfg, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = analysis.PrefetchDemands(cn, cfg)
+	}
+	return out, nil
+}
+
+// PrintFig10 renders Fig 10 (per-network maxima plus the largest
+// individual layers).
+func PrintFig10(w io.Writer, cfg Config) error {
+	data, err := Fig10Data(cfg)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for n := range data {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := metrics.NewTable("network", "max prefetch SRAM demand", "layer at max")
+	for _, n := range names {
+		d := data[n]
+		maxI := 0
+		for i := range d {
+			if d[i].Bytes > d[maxI].Bytes {
+				maxI = i
+			}
+		}
+		t.AddRow(n, arch.FormatBytes(d[maxI].Bytes), d[maxI].Name)
+	}
+	_, err = fmt.Fprintf(w, "Fig 10: required prefetch SRAM buffer size (batch 1)\n%s", t)
+	return err
+}
+
+// ServingPoint is one scheduler's result on the open-loop serving
+// stream (extension experiment; the paper's introduction motivates
+// multi-tenancy with exactly this cloud scenario).
+type ServingPoint struct {
+	// Scheduler is the policy name.
+	Scheduler string
+	// Makespan is the cycle the last request completed.
+	Makespan Cycles
+	// P50 and P99 are request-latency percentiles (finish - arrival).
+	P50, P99 Cycles
+	// PEUtil is the PE busy fraction over the run.
+	PEUtil float64
+}
+
+// ServingData runs a reproducible open-loop request stream (mixed
+// CNN/RNN requests, exponential inter-arrival) under FIFO, PREMA and
+// AI-MT, reporting tail latency and throughput.
+func ServingData(cfg Config) ([]ServingPoint, error) {
+	stream, err := workload.OpenLoop(cfg,
+		[]string{"RN34", "RN50", "MN", "GNMT"},
+		workload.StreamOptions{Requests: 24, MeanGap: 50_000, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	runs := []struct {
+		name string
+		s    Scheduler
+	}{
+		{"FIFO", NewFIFO()},
+		{"PREMA", NewPREMA(nil)},
+		{"AI-MT", NewAIMT(cfg, AllMechanisms())},
+	}
+	var out []ServingPoint
+	for _, r := range runs {
+		res, err := Run(cfg, stream.Nets, r.s, RunOptions{Arrivals: stream.Arrivals})
+		if err != nil {
+			return nil, fmt.Errorf("serving under %s: %w", r.name, err)
+		}
+		lat := metrics.Latencies(res)
+		out = append(out, ServingPoint{
+			Scheduler: r.name,
+			Makespan:  res.Makespan,
+			P50:       metrics.Percentile(lat, 50),
+			P99:       metrics.Percentile(lat, 99),
+			PEUtil:    res.PEUtilization(),
+		})
+	}
+	return out, nil
+}
+
+// PrintServing renders the open-loop serving comparison.
+func PrintServing(w io.Writer, cfg Config) error {
+	pts, err := ServingData(cfg)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("scheduler", "makespan", "p50 latency", "p99 latency", "PE util")
+	for _, p := range pts {
+		t.AddRow(p.Scheduler, fmt.Sprint(p.Makespan), fmt.Sprint(p.P50), fmt.Sprint(p.P99), metrics.Pct(p.PEUtil))
+	}
+	_, err = fmt.Fprintf(w, "Serving (extension): open-loop mixed request stream, 24 requests\n%s", t)
+	return err
+}
+
+// SpatialData returns, per zoo network, the mean spatial MAC
+// utilization of the weight-stationary mapping — the §VI-B headroom a
+// spatial co-execution extension could reclaim.
+func SpatialData(cfg Config) (map[string]float64, error) {
+	out := map[string]float64{}
+	for name, net := range nn.Zoo() {
+		out[name] = analysis.MeanSpatialUtil(analysis.SpatialUtilization(net, cfg))
+	}
+	return out, nil
+}
+
+// PrintSpatial renders the spatial-utilization analysis.
+func PrintSpatial(w io.Writer, cfg Config) error {
+	data, err := SpatialData(cfg)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for n := range data {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := metrics.NewTable("network", "mean spatial MAC utilization")
+	for _, n := range names {
+		t.AddRow(n, metrics.Pct(data[n]))
+	}
+	_, err = fmt.Fprintf(w, "Spatial utilization (extension, paper SVI-B headroom)\n%s", t)
+	return err
+}
+
+// PrintTable1 renders the hardware parameters (paper Table I).
+func PrintTable1(w io.Writer, cfg Config) error {
+	t := metrics.NewTable("parameter", "value")
+	t.AddRow("Processing Element Dimension", fmt.Sprintf("%dx%d", cfg.PEDim, cfg.PEDim))
+	t.AddRow("# Processing Element Array", fmt.Sprint(cfg.NumArrays))
+	t.AddRow("Frequency", fmt.Sprintf("%.0f GHz", float64(cfg.FreqHz)/1e9))
+	t.AddRow("Memory Bandwidth", fmt.Sprintf("%.0f GB/s", float64(cfg.MemBandwidth)/1e9))
+	t.AddRow("On-Chip SRAM Size (Input/Output)", arch.FormatBytes(cfg.IOSRAM))
+	t.AddRow("On-Chip SRAM Size (Weight)", arch.FormatBytes(cfg.WeightSRAM))
+	_, err := fmt.Fprintf(w, "Table I: hardware and architecture parameters\n%s", t)
+	return err
+}
+
+// Table2Row is one workload row of the paper's Table II.
+type Table2Row struct {
+	// Name is the network's short name.
+	Name string
+	// FC and Conv are the weight-layer counts (depthwise convolutions
+	// count as CONV, as in the paper).
+	FC, Conv int
+	// Weights is the total weight-element count.
+	Weights int64
+}
+
+// Table2Rows returns the workload configurations (paper Table II).
+func Table2Rows() []Table2Row {
+	var rows []Table2Row
+	for _, name := range []string{"RN34", "RN50", "VGG16", "MN", "GNMT"} {
+		net, err := nn.ByName(name)
+		if err != nil {
+			panic(err) // zoo names are static
+		}
+		c := net.CountByType()
+		rows = append(rows, Table2Row{
+			Name:    net.Name,
+			FC:      c[nn.FC],
+			Conv:    c[nn.Conv] + c[nn.DWConv],
+			Weights: net.TotalWeights(),
+		})
+	}
+	return rows
+}
+
+// PrintTable2 renders Table II.
+func PrintTable2(w io.Writer) error {
+	t := metrics.NewTable("name", "FC layers", "CONV layers", "weights", "batch")
+	for _, r := range Table2Rows() {
+		t.AddRow(r.Name, fmt.Sprint(r.FC), fmt.Sprint(r.Conv), fmt.Sprint(r.Weights), "1-32")
+	}
+	_, err := fmt.Fprintf(w, "Table II: neural network workloads\n%s", t)
+	return err
+}
+
+// Table3Rows returns the power/area estimates for the on-chip memory
+// blocks (paper Table III) assuming the given number of co-resident
+// networks (the paper uses five).
+func Table3Rows(cfg Config, networks int) []power.Row {
+	return power.Table3(cfg, networks)
+}
+
+// PrintTable3 renders Table III.
+func PrintTable3(w io.Writer, cfg Config) error {
+	rows := Table3Rows(cfg, 5)
+	if _, err := fmt.Fprintln(w, "Table III: power and area of on-chip memory blocks (CACTI-calibrated)"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "AI-MT structure power overhead: %s of on-chip memory total\n",
+		metrics.Pct(power.OverheadFraction(rows)))
+	return err
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the short handle, e.g. "fig14".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Run regenerates the experiment, writing its rows to w.
+	Run func(w io.Writer, cfg Config) error
+}
+
+// Experiments returns every regenerable table and figure, in paper
+// order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Hardware and architecture parameters", Run: func(w io.Writer, cfg Config) error { return PrintTable1(w, cfg) }},
+		{ID: "table2", Title: "Neural network workloads", Run: func(w io.Writer, _ Config) error { return PrintTable2(w) }},
+		{ID: "fig5", Title: "VGG16 compute vs memory latency per layer", Run: PrintFig5},
+		{ID: "fig7", Title: "Utilization under round-robin scheduling", Run: PrintFig7},
+		{ID: "fig8", Title: "Baseline scheduling speedups", Run: PrintFig8},
+		{ID: "fig10", Title: "Required prefetch SRAM per layer", Run: PrintFig10},
+		{ID: "fig14", Title: "AI-MT speedup ablation", Run: PrintFig14},
+		{ID: "fig15", Title: "Batch-size sensitivity", Run: PrintFig15},
+		{ID: "fig16", Title: "SRAM-capacity sensitivity", Run: PrintFig16},
+		{ID: "table3", Title: "Power and area overheads", Run: PrintTable3},
+		{ID: "serving", Title: "Open-loop serving latency (extension)", Run: PrintServing},
+		{ID: "spatial", Title: "Spatial PE utilization headroom (extension)", Run: PrintSpatial},
+	}
+}
+
+// IdealBound returns max(total CB, total MB) cycles for a set of
+// compiled networks — the makespan lower bound any schedule must obey,
+// used in reports and tests.
+func IdealBound(nets []*Compiled) Cycles {
+	var cb, mb Cycles
+	for _, cn := range nets {
+		s := cn.Stats()
+		cb += s.CBCycles
+		mb += s.MBCycles
+	}
+	if mb > cb {
+		return mb
+	}
+	return cb
+}

@@ -1,0 +1,3 @@
+module aimt
+
+go 1.22

@@ -1,0 +1,113 @@
+// Package analysis implements the paper's static (pre-simulation)
+// characterizations: Fig 5's per-layer compute-vs-memory latency split
+// and Fig 10's required prefetch SRAM capacity per layer.
+package analysis
+
+import (
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+)
+
+// LayerRatio is one bar of Fig 5: how a layer's execution divides
+// between computation and memory prefetching.
+type LayerRatio struct {
+	// Name is the layer name.
+	Name string
+
+	// ComputeCycles is the layer's total compute-block latency.
+	ComputeCycles arch.Cycles
+
+	// MemoryCycles is the layer's total memory-block (weight prefetch)
+	// latency.
+	MemoryCycles arch.Cycles
+}
+
+// ComputeFraction returns compute latency over total latency, the
+// quantity plotted per layer in Fig 5.
+func (r LayerRatio) ComputeFraction() float64 {
+	tot := r.ComputeCycles + r.MemoryCycles
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.ComputeCycles) / float64(tot)
+}
+
+// LatencyRatios returns Fig 5's series for a compiled network: each
+// layer's computation and memory-prefetching latency.
+func LatencyRatios(cn *compiler.CompiledNetwork) []LayerRatio {
+	out := make([]LayerRatio, 0, len(cn.Layers))
+	for _, l := range cn.Layers {
+		out = append(out, LayerRatio{
+			Name:          l.Name,
+			ComputeCycles: l.TotalCBCycles(),
+			MemoryCycles:  l.TotalMBCycles(),
+		})
+	}
+	return out
+}
+
+// PrefetchDemand is one bar of Fig 10: the SRAM capacity needed to
+// keep the memory bandwidth fully utilized while a layer computes.
+type PrefetchDemand struct {
+	// Name is the layer name.
+	Name string
+
+	// Bytes is the weight-buffer occupancy after the layer's compute
+	// blocks finish, assuming later layers' weights stream in at full
+	// bandwidth throughout (the paper's estimation method: accumulate
+	// CB latency and prefetch MBs from later layers during it).
+	Bytes arch.Bytes
+}
+
+// PrefetchDemands reproduces Fig 10's estimate for one network. The
+// model walks layers in order: while layer i's compute blocks run for
+// T_i cycles, the HBM channel delivers BW*T_i bytes of not-yet-fetched
+// weights (its own first, then later layers'); when layer i finishes,
+// its weights are consumed. The reported value per layer is the
+// occupancy high-water mark reached during that layer's execution.
+func PrefetchDemands(cn *compiler.CompiledNetwork, cfg arch.Config) []PrefetchDemand {
+	n := len(cn.Layers)
+	weights := make([]arch.Bytes, n)
+	var total arch.Bytes
+	for i, l := range cn.Layers {
+		weights[i] = l.TotalWeightBytes()
+		total += weights[i]
+	}
+
+	bpc := cfg.BytesPerCycle()
+	out := make([]PrefetchDemand, 0, n)
+	var fetched arch.Bytes  // cumulative bytes delivered by the channel
+	var consumed arch.Bytes // cumulative bytes of executed layers
+	for i, l := range cn.Layers {
+		// The layer cannot start before its own weights are resident.
+		need := consumed + weights[i]
+		if fetched < need {
+			fetched = need
+		}
+		// During its compute time, the channel keeps streaming.
+		delivered := arch.Bytes(float64(l.TotalCBCycles()) * bpc)
+		fetched += delivered
+		if fetched > total {
+			fetched = total
+		}
+		// Peak occupancy while this layer runs: everything fetched so
+		// far minus everything consumed before it.
+		peak := fetched - consumed
+		out = append(out, PrefetchDemand{Name: l.Name, Bytes: peak})
+		consumed += weights[i]
+	}
+	return out
+}
+
+// MaxDemand returns the largest per-layer prefetch demand, the summary
+// statistic quoted in §III-C ("even a single batch layer execution can
+// require over 10 MB SRAM").
+func MaxDemand(d []PrefetchDemand) arch.Bytes {
+	var m arch.Bytes
+	for _, x := range d {
+		if x.Bytes > m {
+			m = x.Bytes
+		}
+	}
+	return m
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"aimt/internal/arch"
+	"aimt/internal/nn"
+)
+
+// This file quantifies the paper's §VI-B observation: AI-MT exploits
+// the temporal dimension of the PE arrays, but layers whose dimensions
+// do not fill a 128x128 array waste MACs spatially — headroom a
+// spatial co-execution extension could reclaim. The analysis computes,
+// per layer, the fraction of MAC slots a weight-stationary mapping
+// actually occupies across the layer's sub-layer iterations.
+
+// SpatialUtil is one layer's spatial mapping efficiency.
+type SpatialUtil struct {
+	// Name is the layer name.
+	Name string
+
+	// Type is the layer type.
+	Type nn.LayerType
+
+	// Rows and Cols are the average occupied PE rows (contraction
+	// depth) and columns (filters) per mapped array.
+	Rows, Cols float64
+
+	// MACUtil is occupied MAC slots over total MAC slots across the
+	// layer's iterations: Rows*Cols / PEDim^2 aggregated per tile.
+	MACUtil float64
+}
+
+// SpatialUtilization computes per-layer spatial MAC occupancy for the
+// given network on the given PE geometry. Pooling layers are skipped
+// (they use the dedicated units).
+func SpatialUtilization(net *nn.Network, cfg arch.Config) []SpatialUtil {
+	dim := cfg.PEDim
+	var out []SpatialUtil
+	for _, l := range net.Layers {
+		if !l.Type.HasWeights() {
+			continue
+		}
+		rows, cols := contraction(l)
+		su := tileOccupancy(rows, cols, dim)
+		su.Name = l.Name
+		su.Type = l.Type
+		out = append(out, su)
+	}
+	return out
+}
+
+// contraction returns the weight matrix a layer maps onto the arrays:
+// rows = contraction depth per filter, cols = number of filters.
+func contraction(l nn.Layer) (rows, cols int) {
+	switch l.Type {
+	case nn.Conv:
+		return l.InC * l.Kernel * l.Kernel, l.OutC
+	case nn.DWConv:
+		return l.Kernel * l.Kernel, l.OutC
+	case nn.FC:
+		return l.InC, l.OutC
+	default:
+		return 0, 0
+	}
+}
+
+// tileOccupancy averages the occupied fraction over the ceil-division
+// tiling of a rows x cols weight matrix onto dim x dim arrays.
+func tileOccupancy(rows, cols, dim int) SpatialUtil {
+	if rows <= 0 || cols <= 0 || dim <= 0 {
+		return SpatialUtil{}
+	}
+	tilesR := (rows + dim - 1) / dim
+	tilesC := (cols + dim - 1) / dim
+	var occ, totRows, totCols float64
+	for r := 0; r < tilesR; r++ {
+		h := dim
+		if r == tilesR-1 {
+			h = rows - r*dim
+		}
+		for c := 0; c < tilesC; c++ {
+			w := dim
+			if c == tilesC-1 {
+				w = cols - c*dim
+			}
+			occ += float64(h * w)
+			totRows += float64(h)
+			totCols += float64(w)
+		}
+	}
+	tiles := float64(tilesR * tilesC)
+	return SpatialUtil{
+		Rows:    totRows / tiles,
+		Cols:    totCols / tiles,
+		MACUtil: occ / (tiles * float64(dim) * float64(dim)),
+	}
+}
+
+// MeanSpatialUtil returns the unweighted average spatial utilization
+// across the layers — the single number summarizing a network's §VI-B
+// headroom.
+func MeanSpatialUtil(u []SpatialUtil) float64 {
+	if len(u) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range u {
+		sum += x.MACUtil
+	}
+	return sum / float64(len(u))
+}

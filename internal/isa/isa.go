@@ -1,0 +1,376 @@
+// Package isa defines the accelerator's instruction set: TPU-like
+// CISC instructions at sub-layer granularity, the representation the
+// paper's compile step assumes ("Google's TPU-like CISC instructions
+// which utilize sub-layer granularity operations", §IV). A compiled
+// network lowers to one program per inference; the sub-layer
+// scheduling table the runtime uses is exactly the metadata of this
+// program, so the package also serves as the on-disk exchange format
+// between the compiler and the accelerator.
+package isa
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+)
+
+// Opcode selects an instruction's operation.
+type Opcode uint8
+
+// The instruction set, modeled on the TPU's CISC operations (Jouppi
+// et al., ISCA 2017) at the paper's sub-layer granularity.
+const (
+	// OpReadHost streams input features from host memory into the
+	// input buffer. Arg0 is the byte count.
+	OpReadHost Opcode = iota + 1
+
+	// OpReadWeights fetches one memory block (one PE-array weight
+	// mapping) from HBM into the weight SRAM. Arg0 is the byte count,
+	// Arg1 the estimated HBM occupancy in cycles.
+	OpReadWeights
+
+	// OpMatMul executes one compute block: streams the input features
+	// through the weights loaded by the matching OpReadWeights. Arg1
+	// is the estimated PE occupancy in cycles.
+	OpMatMul
+
+	// OpActivate runs the layer's fused post-processing (activation,
+	// normalization, pooling) on the dedicated units.
+	OpActivate
+
+	// OpWriteHost streams output features back to host memory. Arg0 is
+	// the byte count.
+	OpWriteHost
+
+	// OpSync is a layer barrier: all preceding operations of the layer
+	// must retire before successors of the layer may start.
+	OpSync
+
+	opMax = OpSync
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpReadHost:
+		return "READ_HOST"
+	case OpReadWeights:
+		return "READ_WEIGHTS"
+	case OpMatMul:
+		return "MATMUL"
+	case OpActivate:
+		return "ACTIVATE"
+	case OpWriteHost:
+		return "WRITE_HOST"
+	case OpSync:
+		return "SYNC"
+	default:
+		return fmt.Sprintf("Opcode(%d)", uint8(o))
+	}
+}
+
+// Instruction is one fixed-size CISC operation.
+type Instruction struct {
+	// Op is the operation.
+	Op Opcode
+
+	// Layer is the compiled-layer index the instruction belongs to
+	// (-1 as 0xFFFF is not used; host transfers carry layer 0).
+	Layer uint16
+
+	// Iter is the sub-layer index within the layer.
+	Iter uint32
+
+	// Arg0 is operation-specific: byte counts for transfers.
+	Arg0 uint64
+
+	// Arg1 is operation-specific: estimated occupancy cycles.
+	Arg1 uint64
+}
+
+// Program is a compiled network's instruction stream plus its
+// identifying header fields.
+type Program struct {
+	// Name is the source network name.
+	Name string
+
+	// Batch is the batch size the program was compiled for.
+	Batch int
+
+	// Instructions holds the stream in program order.
+	Instructions []Instruction
+}
+
+// Lower translates a compiled network into its instruction stream:
+// READ_HOST, then per layer a double-buffered interleave of
+// READ_WEIGHTS and MATMUL per sub-layer, ACTIVATE and SYNC per layer,
+// and a final WRITE_HOST.
+func Lower(cn *compiler.CompiledNetwork) *Program {
+	p := &Program{Name: cn.Name, Batch: cn.Batch}
+	p.emit(Instruction{Op: OpReadHost, Arg0: uint64(cn.HostInBytes)})
+	for li, l := range cn.Layers {
+		for it := 0; it < l.Iters; it++ {
+			p.emit(Instruction{
+				Op: OpReadWeights, Layer: uint16(li), Iter: uint32(it),
+				Arg0: uint64(l.MBBytes), Arg1: uint64(l.MBCycles),
+			})
+			p.emit(Instruction{
+				Op: OpMatMul, Layer: uint16(li), Iter: uint32(it),
+				Arg1: uint64(l.CBCycles),
+			})
+		}
+		p.emit(Instruction{Op: OpActivate, Layer: uint16(li)})
+		p.emit(Instruction{Op: OpSync, Layer: uint16(li)})
+	}
+	p.emit(Instruction{Op: OpWriteHost, Arg0: uint64(cn.HostOutBytes)})
+	return p
+}
+
+func (p *Program) emit(i Instruction) { p.Instructions = append(p.Instructions, i) }
+
+// Stats summarizes a program.
+type Stats struct {
+	// PerOp counts instructions per opcode.
+	PerOp map[Opcode]int
+	// WeightBytes is the total HBM weight traffic.
+	WeightBytes arch.Bytes
+	// MemCycles and PECycles are the estimated engine occupancies.
+	MemCycles, PECycles arch.Cycles
+}
+
+// Stats computes the program's summary.
+func (p *Program) Stats() Stats {
+	s := Stats{PerOp: make(map[Opcode]int)}
+	for _, i := range p.Instructions {
+		s.PerOp[i.Op]++
+		switch i.Op {
+		case OpReadWeights:
+			s.WeightBytes += arch.Bytes(i.Arg0)
+			s.MemCycles += arch.Cycles(i.Arg1)
+		case OpMatMul:
+			s.PECycles += arch.Cycles(i.Arg1)
+		}
+	}
+	return s
+}
+
+// Binary format: a fixed header followed by fixed 24-byte records,
+// little-endian throughout.
+//
+//	magic   [4]byte "AIMT"
+//	version uint16  (1)
+//	batch   uint16
+//	nameLen uint16
+//	count   uint32
+//	name    [nameLen]byte
+//	records count x { op u8, _ u8, layer u16, iter u32, arg0 u64, arg1 u64 }
+const (
+	formatVersion = 1
+	recordSize    = 24
+)
+
+var magic = [4]byte{'A', 'I', 'M', 'T'}
+
+// Encoding errors.
+var (
+	ErrBadMagic   = errors.New("isa: bad magic")
+	ErrBadVersion = errors.New("isa: unsupported format version")
+	ErrBadOpcode  = errors.New("isa: invalid opcode")
+	ErrTruncated  = errors.New("isa: truncated program")
+)
+
+// Encode writes the program in the binary format.
+func (p *Program) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	name := []byte(p.Name)
+	if len(name) > 0xFFFF {
+		name = name[:0xFFFF]
+	}
+	hdr := []any{
+		uint16(formatVersion),
+		uint16(p.Batch),
+		uint16(len(name)),
+		uint32(len(p.Instructions)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, i := range p.Instructions {
+		rec[0] = byte(i.Op)
+		rec[1] = 0
+		binary.LittleEndian.PutUint16(rec[2:], i.Layer)
+		binary.LittleEndian.PutUint32(rec[4:], i.Iter)
+		binary.LittleEndian.PutUint64(rec[8:], i.Arg0)
+		binary.LittleEndian.PutUint64(rec[16:], i.Arg1)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program in the binary format, validating the header
+// and every opcode.
+func Decode(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var version, batch, nameLen uint16
+	var count uint32
+	for _, v := range []any{&version, &batch, &nameLen, &count} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	p := &Program{Name: string(name), Batch: int(batch)}
+	var rec [recordSize]byte
+	for n := uint32(0); n < count; n++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrTruncated, n, err)
+		}
+		op := Opcode(rec[0])
+		if op == 0 || op > opMax {
+			return nil, fmt.Errorf("%w: %d at record %d", ErrBadOpcode, rec[0], n)
+		}
+		p.emit(Instruction{
+			Op:    op,
+			Layer: binary.LittleEndian.Uint16(rec[2:]),
+			Iter:  binary.LittleEndian.Uint32(rec[4:]),
+			Arg0:  binary.LittleEndian.Uint64(rec[8:]),
+			Arg1:  binary.LittleEndian.Uint64(rec[16:]),
+		})
+	}
+	return p, nil
+}
+
+// Disassemble writes a human-readable listing of the program.
+func (p *Program) Disassemble(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; program %s, batch %d, %d instructions\n", p.Name, p.Batch, len(p.Instructions))
+	for pc, i := range p.Instructions {
+		switch i.Op {
+		case OpReadHost, OpWriteHost:
+			fmt.Fprintf(bw, "%6d  %-13s bytes=%d\n", pc, i.Op, i.Arg0)
+		case OpReadWeights:
+			fmt.Fprintf(bw, "%6d  %-13s layer=%d iter=%d bytes=%d cycles=%d\n", pc, i.Op, i.Layer, i.Iter, i.Arg0, i.Arg1)
+		case OpMatMul:
+			fmt.Fprintf(bw, "%6d  %-13s layer=%d iter=%d cycles=%d\n", pc, i.Op, i.Layer, i.Iter, i.Arg1)
+		default:
+			fmt.Fprintf(bw, "%6d  %-13s layer=%d\n", pc, i.Op, i.Layer)
+		}
+	}
+	return bw.Flush()
+}
+
+// ToCompiledNetwork reconstructs a runnable sub-layer scheduling table
+// from a program, so a .aimt file round-trips into the simulator. The
+// instruction stream encodes layer order through SYNC barriers but not
+// the source DAG, so the reconstruction uses the conservative
+// sequential interpretation: each layer depends on the one before it.
+// For chain networks (VGG16, GNMT, MobileNet) this is exact; for
+// residual networks it is a legal refinement (strictly more ordered).
+// block is the SRAM block size used to recover MBBlocks from the
+// encoded byte counts.
+func (p *Program) ToCompiledNetwork(block arch.Bytes) (*compiler.CompiledNetwork, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if block <= 0 {
+		return nil, errors.New("isa: non-positive block size")
+	}
+	cn := &compiler.CompiledNetwork{Name: p.Name, Batch: p.Batch}
+	layerOf := map[uint16]int{}
+	for _, i := range p.Instructions {
+		switch i.Op {
+		case OpReadHost:
+			cn.HostInBytes = arch.Bytes(i.Arg0)
+		case OpWriteHost:
+			cn.HostOutBytes = arch.Bytes(i.Arg0)
+		case OpReadWeights:
+			idx, ok := layerOf[i.Layer]
+			if !ok {
+				idx = len(cn.Layers)
+				layerOf[i.Layer] = idx
+				l := compiler.CompiledLayer{
+					Name:     fmt.Sprintf("layer%d", i.Layer),
+					MBCycles: arch.Cycles(i.Arg1),
+					MBBytes:  arch.Bytes(i.Arg0),
+					MBBlocks: int((arch.Bytes(i.Arg0) + block - 1) / block),
+				}
+				if idx > 0 {
+					l.Deps = []int{idx - 1}
+					cn.Layers[idx-1].Posts = append(cn.Layers[idx-1].Posts, idx)
+				}
+				cn.Layers = append(cn.Layers, l)
+			}
+			cn.Layers[idx].Iters++
+		case OpMatMul:
+			idx, ok := layerOf[i.Layer]
+			if !ok {
+				return nil, fmt.Errorf("isa: MATMUL for unknown layer %d", i.Layer)
+			}
+			cn.Layers[idx].CBCycles = arch.Cycles(i.Arg1)
+		}
+	}
+	if err := cn.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: reconstructed table invalid: %w", err)
+	}
+	return cn, nil
+}
+
+// Validate checks the program's structural invariants: every MATMUL is
+// preceded by its READ_WEIGHTS, sub-layer indices are dense per layer,
+// and the stream is bracketed by host transfers.
+func (p *Program) Validate() error {
+	if len(p.Instructions) < 2 {
+		return errors.New("isa: program too short")
+	}
+	if p.Instructions[0].Op != OpReadHost {
+		return errors.New("isa: program must start with READ_HOST")
+	}
+	if p.Instructions[len(p.Instructions)-1].Op != OpWriteHost {
+		return errors.New("isa: program must end with WRITE_HOST")
+	}
+	type key struct {
+		layer uint16
+		iter  uint32
+	}
+	fetched := map[key]bool{}
+	for pc, i := range p.Instructions {
+		switch i.Op {
+		case OpReadWeights:
+			fetched[key{i.Layer, i.Iter}] = true
+		case OpMatMul:
+			if !fetched[key{i.Layer, i.Iter}] {
+				return fmt.Errorf("isa: MATMUL at %d before its READ_WEIGHTS (layer %d iter %d)", pc, i.Layer, i.Iter)
+			}
+		}
+	}
+	return nil
+}

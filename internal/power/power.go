@@ -1,0 +1,139 @@
+// Package power estimates static power and area of the on-chip memory
+// structures AI-MT adds, reproducing the paper's Table III. The paper
+// used CACTI 7.0 at 28 nm; offline, we substitute an analytical model
+// calibrated to the paper's four published (size, power, area) data
+// points and interpolate between them on a log-log scale, which
+// preserves CACTI's approximately power-law capacity scaling.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aimt/internal/arch"
+)
+
+// anchor is one calibrated CACTI data point.
+type anchor struct {
+	bytes   float64
+	powerMW float64
+	areaMM2 float64
+}
+
+// anchors are derived from Table III: 64 B structures, the 3 KB
+// sub-layer scheduling table, the 1 MB weight buffer, and the 18 MB
+// input/output buffer (per-instance values).
+var anchors = []anchor{
+	{bytes: 64, powerMW: 0.0172, areaMM2: 0.000261},
+	{bytes: 3 * 1024, powerMW: 2.897 / 5, areaMM2: 0.0592 / 5},
+	{bytes: 1 << 20, powerMW: 170.408, areaMM2: 3.843},
+	{bytes: 18 << 20, powerMW: 3575.872, areaMM2: 119.399},
+}
+
+// interp performs log-log piecewise-linear interpolation through the
+// anchors, extrapolating with the slope of the end segments.
+func interp(bytes float64, value func(anchor) float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	x := math.Log(bytes)
+	i := sort.Search(len(anchors), func(i int) bool { return anchors[i].bytes >= bytes })
+	var lo, hi anchor
+	switch {
+	case i == 0:
+		lo, hi = anchors[0], anchors[1]
+	case i >= len(anchors):
+		lo, hi = anchors[len(anchors)-2], anchors[len(anchors)-1]
+	default:
+		lo, hi = anchors[i-1], anchors[i]
+	}
+	x0, x1 := math.Log(lo.bytes), math.Log(hi.bytes)
+	y0, y1 := math.Log(value(lo)), math.Log(value(hi))
+	t := (x - x0) / (x1 - x0)
+	return math.Exp(y0 + t*(y1-y0))
+}
+
+// SRAMPowerMW estimates the static power, in milliwatts, of an SRAM
+// of the given capacity.
+func SRAMPowerMW(size arch.Bytes) float64 {
+	return interp(float64(size), func(a anchor) float64 { return a.powerMW })
+}
+
+// SRAMAreaMM2 estimates the area, in square millimetres, of an SRAM
+// of the given capacity.
+func SRAMAreaMM2(size arch.Bytes) float64 {
+	return interp(float64(size), func(a anchor) float64 { return a.areaMM2 })
+}
+
+// Row is one line of Table III.
+type Row struct {
+	// Name is the memory block's label.
+	Name string
+	// Size is its capacity.
+	Size arch.Bytes
+	// Count is the number of instances (scheduling tables scale with
+	// the number of co-resident networks).
+	Count int
+	// PowerMW and AreaMM2 cover all Count instances.
+	PowerMW float64
+	AreaMM2 float64
+}
+
+// SchedulingTableBytes is the size of one per-network sub-layer
+// scheduling table (Table III: 3 KB).
+const SchedulingTableBytes arch.Bytes = 3 * arch.KiB
+
+// QueueBytes is the size of the candidate queues, the selected queue,
+// the weight management table and the free list (Table III: 64 B).
+const QueueBytes arch.Bytes = 64
+
+// Table3 reproduces Table III for the given hardware configuration
+// and number of concurrently resident networks (the paper uses five).
+func Table3(cfg arch.Config, networks int) []Row {
+	mk := func(name string, size arch.Bytes, count int) Row {
+		return Row{
+			Name:    name,
+			Size:    size,
+			Count:   count,
+			PowerMW: SRAMPowerMW(size) * float64(count),
+			AreaMM2: SRAMAreaMM2(size) * float64(count),
+		}
+	}
+	return []Row{
+		mk("Input/Output buffer", cfg.IOSRAM, 1),
+		mk("Weight buffer", cfg.WeightSRAM, 1),
+		mk("Sub-layer scheduling table", SchedulingTableBytes, networks),
+		mk("CQs and SQ", QueueBytes, 1),
+		mk("Weight management table", QueueBytes, 1),
+		mk("Free list", QueueBytes, 1),
+	}
+}
+
+// OverheadFraction returns the power fraction of the AI-MT-specific
+// structures (everything but the feature and weight buffers) relative
+// to the total — the paper's "negligible overhead" claim.
+func OverheadFraction(rows []Row) float64 {
+	var total, overhead float64
+	for _, r := range rows {
+		total += r.PowerMW
+		if r.Name != "Input/Output buffer" && r.Name != "Weight buffer" {
+			overhead += r.PowerMW
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return overhead / total
+}
+
+// String renders a row like Table III.
+func (r Row) String() string {
+	label := r.Name
+	if r.Count > 1 {
+		label = fmt.Sprintf("%s (%s * %d)", r.Name, arch.FormatBytes(r.Size), r.Count)
+	} else {
+		label = fmt.Sprintf("%s (%s)", r.Name, arch.FormatBytes(r.Size))
+	}
+	return fmt.Sprintf("%-45s %12.4f mW %12.6f mm2", label, r.PowerMW, r.AreaMM2)
+}

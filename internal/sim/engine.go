@@ -1,0 +1,477 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+	"aimt/internal/sram"
+)
+
+// Tracer receives one call per completed (or halted) occupancy
+// interval on each engine. Engines are "mem" (HBM channel), "pe"
+// (PE-array complex) and "host" (PCIe link).
+type Tracer interface {
+	Event(engine, name string, net, layer, iter int, start, end arch.Cycles)
+}
+
+// Options tune a simulation run.
+type Options struct {
+	// Tracer, when non-nil, receives every occupancy interval.
+	Tracer Tracer
+
+	// MaxCycles aborts runs that exceed this simulated time; zero means
+	// the default of 2e11 cycles.
+	MaxCycles arch.Cycles
+
+	// SchedulerLatency models a software implementation of the
+	// scheduler (paper §IV-D): every memory-block issue pays this many
+	// cycles of decision latency before the fetch begins, occupying
+	// the channel's issue slot but not counting as transfer time. Zero
+	// models the paper's hardware scheduler.
+	SchedulerLatency arch.Cycles
+
+	// Arrivals gives each network instance's arrival cycle, modelling
+	// the cloud serving scenario where requests stream in over time.
+	// A network is invisible to the scheduler — no candidates, no host
+	// input transfer — before its arrival. Nil or short slices mean
+	// arrival at cycle zero.
+	Arrivals []arch.Cycles
+
+	// CheckInvariants runs SRAM-consistency checks on every compute
+	// block completion. Slow; intended for tests.
+	CheckInvariants bool
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Scheduler is the policy name.
+	Scheduler string
+
+	// Makespan is the cycle at which the last network (including its
+	// host output transfer) completed.
+	Makespan arch.Cycles
+
+	// MemBusy, PEBusy and HostBusy are total occupied cycles per engine.
+	MemBusy, PEBusy, HostBusy arch.Cycles
+
+	// MBCount and CBCount are completed block counts; Splits counts
+	// compute-block halts; Resumes counts restarted remnants.
+	MBCount, CBCount, Splits int
+
+	// NetNames, NetArrive and NetFinish give, per network instance,
+	// its name, arrival cycle and completion cycle; latency is
+	// NetFinish[i] - NetArrive[i].
+	NetNames  []string
+	NetArrive []arch.Cycles
+	NetFinish []arch.Cycles
+
+	// SRAMPeakBlocks is the high-water mark of weight-SRAM occupancy.
+	SRAMPeakBlocks int
+
+	// BlockBytes converts SRAMPeakBlocks to bytes.
+	BlockBytes arch.Bytes
+}
+
+// MemUtilization returns HBM-channel occupancy over the makespan.
+func (r *Result) MemUtilization() float64 { return ratio(r.MemBusy, r.Makespan) }
+
+// PEUtilization returns PE-complex occupancy over the makespan.
+func (r *Result) PEUtilization() float64 { return ratio(r.PEBusy, r.Makespan) }
+
+// SRAMPeakBytes returns the weight-SRAM high-water mark in bytes.
+func (r *Result) SRAMPeakBytes() arch.Bytes {
+	return arch.Bytes(r.SRAMPeakBlocks) * r.BlockBytes
+}
+
+func ratio(a, b arch.Cycles) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Run errors.
+var (
+	ErrDeadlock  = errors.New("sim: deadlock — no engine busy and work remains")
+	ErrTimeLimit = errors.New("sim: exceeded MaxCycles")
+)
+
+type hostXfer struct {
+	net    int
+	output bool
+	cycles arch.Cycles
+}
+
+type engine struct {
+	v    *View
+	sch  Scheduler
+	opts Options
+
+	hostQ    []hostXfer
+	hostBusy bool
+	hostEnd  arch.Cycles
+	curHost  hostXfer
+
+	res Result
+}
+
+// Run simulates the co-located execution of the given compiled
+// networks under the scheduler. All networks arrive at cycle zero in
+// slice order. cfg must have been validated.
+func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts Options) (*Result, error) {
+	if len(nets) == 0 {
+		return nil, errors.New("sim: no networks")
+	}
+	for _, cn := range nets {
+		if err := cn.Validate(); err != nil {
+			return nil, err
+		}
+		for _, l := range cn.Layers {
+			if l.MBBlocks > cfg.WeightBlocks() {
+				return nil, fmt.Errorf("sim: %s/%s needs %d SRAM blocks but the weight buffer holds %d",
+					cn.Name, l.Name, l.MBBlocks, cfg.WeightBlocks())
+			}
+		}
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 200_000_000_000
+	}
+
+	v := &View{cfg: cfg, buf: sram.NewBuffer(cfg.WeightBlocks())}
+	for _, cn := range nets {
+		v.nets = append(v.nets, newNetState(cn))
+	}
+	e := &engine{v: v, sch: sch, opts: opts}
+	e.res.Scheduler = sch.Name()
+	e.res.BlockBytes = cfg.BlockBytes()
+	e.res.NetNames = make([]string, len(nets))
+	e.res.NetArrive = make([]arch.Cycles, len(nets))
+	e.res.NetFinish = make([]arch.Cycles, len(nets))
+	for i, cn := range nets {
+		e.res.NetNames[i] = cn.Name
+		if i < len(opts.Arrivals) && opts.Arrivals[i] > 0 {
+			v.nets[i].arrived = false
+			v.nets[i].arrival = opts.Arrivals[i]
+			e.res.NetArrive[i] = opts.Arrivals[i]
+		}
+	}
+
+	// Networks arriving at cycle zero start their host input transfer
+	// immediately; late arrivals do so when they arrive.
+	for i := range nets {
+		if v.nets[i].arrived {
+			e.arrive(i)
+		}
+	}
+
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	e.res.Makespan = v.now
+	return &e.res, nil
+}
+
+func (e *engine) loop() error {
+	v := e.v
+	for {
+		if err := e.scheduleAll(); err != nil {
+			return err
+		}
+
+		// Advance to the earliest completion among busy engines, or to
+		// the next pending arrival.
+		var next arch.Cycles = -1
+		consider := func(busy bool, end arch.Cycles) {
+			if busy && (next < 0 || end < next) {
+				next = end
+			}
+		}
+		consider(v.memBusy, v.memEnd)
+		consider(v.peBusy, v.peEnd)
+		consider(e.hostBusy, e.hostEnd)
+		for _, s := range v.nets {
+			if !s.arrived {
+				consider(true, s.arrival)
+			}
+		}
+
+		if next < 0 {
+			if e.allDone() {
+				return nil
+			}
+			return fmt.Errorf("%w at cycle %d: %s", ErrDeadlock, v.now, e.stuckDiagnosis())
+		}
+		if next > e.opts.MaxCycles {
+			return fmt.Errorf("%w (%d)", ErrTimeLimit, e.opts.MaxCycles)
+		}
+		v.now = next
+
+		if v.memBusy && v.memEnd == v.now {
+			if err := e.completeMB(); err != nil {
+				return err
+			}
+		}
+		if v.peBusy && v.peEnd == v.now {
+			if err := e.completeCB(); err != nil {
+				return err
+			}
+		}
+		if e.hostBusy && e.hostEnd == v.now {
+			e.completeHost()
+		}
+		for i, s := range v.nets {
+			if !s.arrived && s.arrival <= v.now {
+				s.arrived = true
+				e.arrive(i)
+			}
+		}
+	}
+}
+
+// arrive starts network net's host input transfer (or resolves it
+// immediately when the link is unconfigured or the input empty).
+func (e *engine) arrive(net int) {
+	c := e.v.cfg.HostCycles(e.v.nets[net].cn.HostInBytes)
+	if c == 0 {
+		e.finishHostIn(net)
+		return
+	}
+	e.hostQ = append(e.hostQ, hostXfer{net: net, cycles: c})
+}
+
+// scheduleAll issues work onto idle engines until no further progress
+// is possible at the current cycle.
+func (e *engine) scheduleAll() error {
+	v := e.v
+	for progress := true; progress; {
+		progress = false
+
+		if !v.memBusy && v.HasMBWork() {
+			r, ok := e.sch.PickMB(v)
+			if v.splitRequested {
+				v.splitRequested = false
+				if err := e.applySplit(); err != nil {
+					return err
+				}
+				progress = true
+			}
+			if ok {
+				if err := e.issueMB(r); err != nil {
+					return err
+				}
+				progress = true
+			}
+		}
+
+		if !v.peBusy {
+			if r, ok := e.sch.PickCB(v); ok && v.IsCBExecutable(r) {
+				e.startCB(r)
+				progress = true
+			}
+		}
+
+		if !e.hostBusy && len(e.hostQ) > 0 {
+			e.curHost = e.hostQ[0]
+			e.hostQ = e.hostQ[1:]
+			e.hostBusy = true
+			e.hostEnd = v.now + e.curHost.cycles
+			progress = true
+		}
+	}
+	return nil
+}
+
+func (e *engine) issueMB(r MBRef) error {
+	v := e.v
+	if !v.IsMBIssuable(r) {
+		return fmt.Errorf("sim: scheduler %s returned non-issuable MB %+v", e.sch.Name(), r)
+	}
+	s := v.nets[r.Net]
+	l := s.cn.Layers[r.Layer]
+	if err := v.buf.Allocate(&s.chains[r.Layer], l.MBBlocks); err != nil {
+		return fmt.Errorf("sim: issue MB %+v: %w", r, err)
+	}
+	if used := v.buf.UsedBlocks(); used > e.res.SRAMPeakBlocks {
+		e.res.SRAMPeakBlocks = used
+	}
+	s.mbIssued[r.Layer]++
+	v.memBusy = true
+	v.curMB = r
+	v.memEnd = v.now + e.opts.SchedulerLatency + l.MBCycles
+	return nil
+}
+
+func (e *engine) completeMB() error {
+	v := e.v
+	r := v.curMB
+	s := v.nets[r.Net]
+	l := s.cn.Layers[r.Layer]
+	start := v.memEnd - l.MBCycles
+	v.memBusy = false
+	e.res.MemBusy += l.MBCycles
+	e.res.MBCount++
+	e.trace("mem", "MB:"+l.Name, r.Net, r.Layer, r.Iter, start, v.now)
+
+	s.mbDone[r.Layer]++
+	if s.mbDone[r.Layer] == l.Iters {
+		for _, p := range l.Posts {
+			s.mbIndeg[p]--
+		}
+	}
+	e.sch.OnMBDone(v, r)
+	return nil
+}
+
+func (e *engine) startCB(r CBRef) {
+	v := e.v
+	s := v.nets[r.Net]
+	if s.cbSelected[r.Layer] == s.cbDone[r.Layer] {
+		s.cbSelected[r.Layer]++ // implicit claim for policies without merging
+	}
+	work := v.CBCycles(r)
+	v.peBusy = true
+	v.curCB = r
+	v.cbStart = v.now
+	v.curCBWork = work
+	v.peEnd = v.now + work
+	e.sch.OnCBStart(v, r)
+}
+
+func (e *engine) completeCB() error {
+	v := e.v
+	r := v.curCB
+	s := v.nets[r.Net]
+	l := s.cn.Layers[r.Layer]
+	v.peBusy = false
+	e.res.PEBusy += v.curCBWork
+	e.res.CBCount++
+	e.trace("pe", "CB:"+l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
+
+	if err := v.buf.Consume(&s.chains[r.Layer], l.MBBlocks); err != nil {
+		return fmt.Errorf("sim: complete CB %+v: %w", r, err)
+	}
+	s.remnant[r.Layer] = 0
+	s.cbDone[r.Layer]++
+	if s.cbDone[r.Layer] == l.Iters {
+		for _, p := range l.Posts {
+			s.cbIndeg[p]--
+		}
+		s.layersLeft--
+		if s.layersLeft == 0 {
+			e.finishCompute(r.Net)
+		}
+	}
+	if e.opts.CheckInvariants {
+		if err := e.checkSRAM(); err != nil {
+			return err
+		}
+	}
+	e.sch.OnCBDone(v, r)
+	return nil
+}
+
+// applySplit halts the executing compute block at the current cycle.
+func (e *engine) applySplit() error {
+	v := e.v
+	if !v.peBusy || v.now <= v.cbStart || v.peEnd <= v.now {
+		return nil // nothing meaningful to split; ignore the request
+	}
+	r := v.curCB
+	s := v.nets[r.Net]
+	l := s.cn.Layers[r.Layer]
+	executed := v.now - v.cbStart
+	remaining := v.peEnd - v.now
+
+	v.peBusy = false
+	e.res.PEBusy += executed
+	e.res.Splits++
+	e.trace("pe", "CB(split):"+l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
+
+	s.remnant[r.Layer] = remaining
+	s.cbSelected[r.Layer] = s.cbDone[r.Layer]
+	e.sch.OnCBSplit(v, r, remaining)
+	return nil
+}
+
+func (e *engine) finishCompute(net int) {
+	cn := e.v.nets[net].cn
+	c := e.v.cfg.HostCycles(cn.HostOutBytes)
+	if c == 0 {
+		e.finishNet(net)
+		return
+	}
+	e.hostQ = append(e.hostQ, hostXfer{net: net, output: true, cycles: c})
+}
+
+func (e *engine) completeHost() {
+	v := e.v
+	x := e.curHost
+	e.hostBusy = false
+	e.res.HostBusy += x.cycles
+	name := "host-in"
+	if x.output {
+		name = "host-out"
+	}
+	e.trace("host", name, x.net, -1, -1, e.hostEnd-x.cycles, v.now)
+	if x.output {
+		e.finishNet(x.net)
+	} else {
+		e.finishHostIn(x.net)
+	}
+}
+
+func (e *engine) finishHostIn(net int) {
+	s := e.v.nets[net]
+	s.hostInDone = true
+	for li, l := range s.cn.Layers {
+		if len(l.Deps) == 0 {
+			s.cbIndeg[li]--
+		}
+	}
+}
+
+func (e *engine) finishNet(net int) {
+	s := e.v.nets[net]
+	s.finished = true
+	s.finishAt = e.v.now
+	e.res.NetFinish[net] = e.v.now
+}
+
+func (e *engine) allDone() bool {
+	for _, s := range e.v.nets {
+		if !s.finished {
+			return false
+		}
+	}
+	return len(e.hostQ) == 0 && !e.hostBusy
+}
+
+func (e *engine) checkSRAM() error {
+	var chains []*sram.Chain
+	for _, s := range e.v.nets {
+		for i := range s.chains {
+			chains = append(chains, &s.chains[i])
+		}
+	}
+	return e.v.buf.Check(chains)
+}
+
+func (e *engine) trace(engineName, name string, net, layer, iter int, start, end arch.Cycles) {
+	if e.opts.Tracer != nil {
+		e.opts.Tracer.Event(engineName, name, net, layer, iter, start, end)
+	}
+}
+
+// stuckDiagnosis renders a short description of why no engine can make
+// progress, for deadlock errors.
+func (e *engine) stuckDiagnosis() string {
+	v := e.v
+	var mbs []MBRef
+	mbs = v.MBCandidates(nil)
+	var cbs []CBRef
+	cbs = v.ReadyCBs(cbs)
+	return fmt.Sprintf("free SRAM blocks %d/%d, %d MB candidates, %d ready CBs, host queue %d",
+		v.FreeBlocks(), v.TotalBlocks(), len(mbs), len(cbs), len(e.hostQ))
+}

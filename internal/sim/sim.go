@@ -1,0 +1,415 @@
+// Package sim is the cycle-level accelerator simulator. It models the
+// machine the paper evaluates on: one HBM channel executing memory
+// blocks (MBs) serially, one PE-array complex executing compute blocks
+// (CBs) serially at sub-layer granularity, a block-granular weight
+// SRAM gating prefetch depth, and a host (PCIe) link moving input and
+// output features.
+//
+// Scheduling policy is pluggable through the Scheduler interface; the
+// engine owns all state transitions (dependency resolution, SRAM
+// allocation, split/resume) so that every policy is simulated under
+// identical machine semantics.
+package sim
+
+import (
+	"fmt"
+
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+	"aimt/internal/sram"
+)
+
+// MBRef identifies one memory block: sub-layer Iter of compiled layer
+// Layer of network instance Net.
+type MBRef struct {
+	Net, Layer, Iter int
+}
+
+// CBRef identifies one compute block.
+type CBRef struct {
+	Net, Layer, Iter int
+}
+
+// Scheduler decides which block each engine runs next. The engine
+// consults it whenever an engine is idle and state may have changed.
+// Implementations must be deterministic functions of the View.
+type Scheduler interface {
+	// Name labels the policy in results and traces.
+	Name() string
+
+	// PickMB returns the next memory block to fetch. Returning ok=false
+	// leaves the HBM channel idle until the next event. The returned
+	// block must be issuable (IsMBIssuable).
+	PickMB(v *View) (MBRef, bool)
+
+	// PickCB returns the compute block the PE complex should run next.
+	// If the returned block is not yet executable (its weights are
+	// still in flight), the PE complex waits for it — this is how a
+	// policy expresses a dependency stall. Returning ok=false leaves
+	// the PE complex idle until the next event.
+	PickCB(v *View) (CBRef, bool)
+
+	// OnMBDone is invoked when a memory block completes.
+	OnMBDone(v *View, r MBRef)
+
+	// OnCBStart is invoked when a compute block begins execution.
+	OnCBStart(v *View, r CBRef)
+
+	// OnCBDone is invoked when a compute block completes.
+	OnCBDone(v *View, r CBRef)
+
+	// OnCBSplit is invoked after the engine halts an executing compute
+	// block (see View.RequestSplit). remaining is the work left,
+	// excluding the refill penalty charged at resume.
+	OnCBSplit(v *View, r CBRef, remaining arch.Cycles)
+}
+
+// NopHooks provides no-op notification methods for schedulers that
+// only implement the Pick methods.
+type NopHooks struct{}
+
+// OnMBDone implements Scheduler.
+func (NopHooks) OnMBDone(*View, MBRef) {}
+
+// OnCBStart implements Scheduler.
+func (NopHooks) OnCBStart(*View, CBRef) {}
+
+// OnCBDone implements Scheduler.
+func (NopHooks) OnCBDone(*View, CBRef) {}
+
+// OnCBSplit implements Scheduler.
+func (NopHooks) OnCBSplit(*View, CBRef, arch.Cycles) {}
+
+// netState tracks one network instance's progress through its
+// sub-layer scheduling table.
+type netState struct {
+	cn *compiler.CompiledNetwork
+
+	mbIndeg []int // unresolved MB-chain predecessors per layer
+	cbIndeg []int // unresolved CB-chain predecessors per layer
+
+	mbIssued   []int // MBs handed to the HBM channel, per layer
+	mbDone     []int // MBs fully fetched, per layer
+	cbSelected []int // CBs claimed by the scheduler (>= cbDone), per layer
+	cbDone     []int // CBs completed, per layer
+
+	// remnant, when positive, is the remaining work of a halted CB: the
+	// layer's next CB (iter == cbDone) resumes with remnant plus the PE
+	// refill penalty instead of its full CBCycles.
+	remnant []arch.Cycles
+
+	chains []sram.Chain // resident weight blocks per layer
+
+	arrival    arch.Cycles
+	arrived    bool
+	hostInDone bool
+	layersLeft int
+	finished   bool
+	finishAt   arch.Cycles
+}
+
+func newNetState(cn *compiler.CompiledNetwork) *netState {
+	n := len(cn.Layers)
+	s := &netState{
+		cn:         cn,
+		mbIndeg:    make([]int, n),
+		cbIndeg:    make([]int, n),
+		mbIssued:   make([]int, n),
+		mbDone:     make([]int, n),
+		cbSelected: make([]int, n),
+		cbDone:     make([]int, n),
+		remnant:    make([]arch.Cycles, n),
+		chains:     make([]sram.Chain, n),
+		layersLeft: n,
+		arrived:    true, // the engine clears this for late arrivals
+	}
+	for i, l := range cn.Layers {
+		s.mbIndeg[i] = len(l.Deps)
+		s.cbIndeg[i] = len(l.Deps)
+		if len(l.Deps) == 0 {
+			// Root layers additionally wait for the host input transfer
+			// before computing (their weights may be fetched earlier).
+			s.cbIndeg[i] = 1
+		}
+	}
+	return s
+}
+
+// View is the scheduler's window onto simulator state. All methods are
+// read-only except SelectCB and RequestSplit.
+type View struct {
+	cfg  arch.Config
+	nets []*netState
+	buf  *sram.Buffer
+
+	now arch.Cycles
+
+	// HBM channel occupancy.
+	memBusy bool
+	curMB   MBRef
+	memEnd  arch.Cycles
+
+	// PE complex occupancy.
+	peBusy    bool
+	curCB     CBRef
+	cbStart   arch.Cycles
+	peEnd     arch.Cycles
+	curCBWork arch.Cycles // total cycles assigned to the executing CB
+
+	splitRequested bool
+}
+
+// Now returns the current simulation time in cycles.
+func (v *View) Now() arch.Cycles { return v.now }
+
+// Config returns the hardware configuration being simulated.
+func (v *View) Config() arch.Config { return v.cfg }
+
+// NumNets returns the number of co-located network instances.
+func (v *View) NumNets() int { return len(v.nets) }
+
+// NumLayers returns the layer count of network instance net.
+func (v *View) NumLayers(net int) int { return len(v.nets[net].cn.Layers) }
+
+// Layer returns the scheduling-table row for (net, layer).
+func (v *View) Layer(net, layer int) compiler.CompiledLayer {
+	return v.nets[net].cn.Layers[layer]
+}
+
+// NetName returns the name of network instance net.
+func (v *View) NetName(net int) string { return v.nets[net].cn.Name }
+
+// NetFinished reports whether network instance net has completed.
+func (v *View) NetFinished(net int) bool { return v.nets[net].finished }
+
+// HostInputDone reports whether network instance net's input features
+// have arrived over the host link; until then none of its compute
+// blocks can start.
+func (v *View) HostInputDone(net int) bool { return v.nets[net].hostInDone }
+
+// MixTotals returns the workload's total compute-block and
+// memory-block cycles — the static load balance schedulers may use to
+// adapt policy (a memory-bound mix must never idle the HBM channel).
+func (v *View) MixTotals() (cb, mb arch.Cycles) {
+	for _, s := range v.nets {
+		st := s.cn.Stats()
+		cb += st.CBCycles
+		mb += st.MBCycles
+	}
+	return cb, mb
+}
+
+// FreeBlocks returns the number of free weight-SRAM blocks.
+func (v *View) FreeBlocks() int { return v.buf.FreeBlocks() }
+
+// TotalBlocks returns the weight SRAM's capacity in blocks.
+func (v *View) TotalBlocks() int { return v.buf.NumBlocks() }
+
+// MBCycles returns the HBM occupancy of the referenced memory block.
+func (v *View) MBCycles(r MBRef) arch.Cycles {
+	return v.Layer(r.Net, r.Layer).MBCycles
+}
+
+// MBBlocks returns the SRAM blocks the referenced MB allocates.
+func (v *View) MBBlocks(r MBRef) int {
+	return v.Layer(r.Net, r.Layer).MBBlocks
+}
+
+// CBCycles returns the PE occupancy of the referenced compute block,
+// accounting for a halted remainder plus refill penalty when the block
+// is a resume.
+func (v *View) CBCycles(r CBRef) arch.Cycles {
+	s := v.nets[r.Net]
+	if r.Iter == s.cbDone[r.Layer] && s.remnant[r.Layer] > 0 {
+		return s.remnant[r.Layer] + v.cfg.FillLatency
+	}
+	return s.cn.Layers[r.Layer].CBCycles
+}
+
+// IsMBIssuable reports whether the referenced MB may be handed to the
+// HBM channel right now: its network has arrived, its layer's MB
+// chain is unlocked, it is the layer's next MB, and the SRAM has room
+// for its blocks.
+func (v *View) IsMBIssuable(r MBRef) bool {
+	s := v.nets[r.Net]
+	l := s.cn.Layers[r.Layer]
+	return s.arrived &&
+		s.mbIndeg[r.Layer] == 0 &&
+		r.Iter == s.mbIssued[r.Layer] &&
+		r.Iter < l.Iters &&
+		v.buf.FreeBlocks() >= l.MBBlocks
+}
+
+// IsCBExecutable reports whether the referenced CB can start now: its
+// layer's CB chain is unlocked, it is the layer's next CB, and its
+// weights are resident.
+func (v *View) IsCBExecutable(r CBRef) bool {
+	s := v.nets[r.Net]
+	return s.arrived &&
+		s.cbIndeg[r.Layer] == 0 &&
+		r.Iter == s.cbDone[r.Layer] &&
+		r.Iter < s.cn.Layers[r.Layer].Iters &&
+		s.mbDone[r.Layer] > r.Iter
+}
+
+// MBCandidates appends to out one entry per (net, layer) whose next
+// memory block is unlocked (dependency-free), in (net, layer) order.
+// Capacity is not checked — use IsMBIssuable or MBBlocks.
+func (v *View) MBCandidates(out []MBRef) []MBRef {
+	for ni, s := range v.nets {
+		if !s.arrived {
+			continue
+		}
+		for li := range s.cn.Layers {
+			if s.mbIndeg[li] == 0 && s.mbIssued[li] < s.cn.Layers[li].Iters {
+				out = append(out, MBRef{Net: ni, Layer: li, Iter: s.mbIssued[li]})
+			}
+		}
+	}
+	return out
+}
+
+// ReadyCBs appends to out one entry per (net, layer) whose next
+// compute block is executable right now (weights resident, chain
+// unlocked), in (net, layer) order.
+func (v *View) ReadyCBs(out []CBRef) []CBRef {
+	for ni, s := range v.nets {
+		if !s.arrived {
+			continue
+		}
+		for li := range s.cn.Layers {
+			r := CBRef{Net: ni, Layer: li, Iter: s.cbDone[li]}
+			if s.cbSelected[li] == s.cbDone[li] && v.IsCBExecutable(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// SelectableCBs appends to out the compute blocks a scheduler may
+// claim ahead of execution (the paper's CB candidate queue for
+// merging): CBs whose layer is unlocked and whose weights are already
+// resident, beyond those already selected — the blocks that can
+// overlap an in-flight fetch. Several consecutive iterations of one
+// layer may appear.
+func (v *View) SelectableCBs(out []CBRef) []CBRef {
+	for ni, s := range v.nets {
+		if !s.arrived {
+			continue
+		}
+		for li := range s.cn.Layers {
+			if s.cbIndeg[li] != 0 {
+				continue
+			}
+			for it := s.cbSelected[li]; it < s.mbDone[li]; it++ {
+				out = append(out, CBRef{Net: ni, Layer: li, Iter: it})
+			}
+		}
+	}
+	return out
+}
+
+// AvailableCBCycles returns the total PE work that is available to
+// overlap right now: for every unlocked layer, the compute blocks
+// whose weights are resident but not yet consumed — the paper's
+// AVL_CB, computed exactly from machine state.
+func (v *View) AvailableCBCycles() arch.Cycles {
+	var sum arch.Cycles
+	for _, s := range v.nets {
+		if !s.arrived {
+			continue
+		}
+		for li, l := range s.cn.Layers {
+			if s.cbIndeg[li] != 0 {
+				continue
+			}
+			n := s.mbDone[li] - s.cbDone[li]
+			if n <= 0 {
+				continue
+			}
+			sum += arch.Cycles(n) * l.CBCycles
+			if s.remnant[li] > 0 {
+				// The layer's next CB is a halted remainder, shorter
+				// than a full block.
+				sum -= l.CBCycles - (s.remnant[li] + v.cfg.FillLatency)
+			}
+		}
+	}
+	return sum
+}
+
+// SelectCB claims a compute block ahead of execution (AI-MT's CB
+// merging). Claims must be made in iteration order per layer.
+func (v *View) SelectCB(r CBRef) error {
+	s := v.nets[r.Net]
+	if s.cbIndeg[r.Layer] != 0 {
+		return fmt.Errorf("sim: SelectCB %+v: layer locked", r)
+	}
+	if r.Iter != s.cbSelected[r.Layer] {
+		return fmt.Errorf("sim: SelectCB %+v: expected iter %d", r, s.cbSelected[r.Layer])
+	}
+	if r.Iter >= s.mbDone[r.Layer] {
+		return fmt.Errorf("sim: SelectCB %+v: weights not resident", r)
+	}
+	s.cbSelected[r.Layer]++
+	return nil
+}
+
+// ExecutingCB returns the compute block currently on the PE complex
+// and its remaining cycles.
+func (v *View) ExecutingCB() (CBRef, arch.Cycles, bool) {
+	if !v.peBusy {
+		return CBRef{}, 0, false
+	}
+	return v.curCB, v.peEnd - v.now, true
+}
+
+// FetchingMB returns the memory block currently occupying the HBM
+// channel and its remaining cycles.
+func (v *View) FetchingMB() (MBRef, arch.Cycles, bool) {
+	if !v.memBusy {
+		return MBRef{}, 0, false
+	}
+	return v.curMB, v.memEnd - v.now, true
+}
+
+// OutstandingMBs returns the number of memory blocks issued whose
+// compute blocks have not completed — the quantity a double-buffering
+// baseline bounds at two.
+func (v *View) OutstandingMBs() int {
+	n := 0
+	for _, s := range v.nets {
+		for li := range s.cn.Layers {
+			n += s.mbIssued[li] - s.cbDone[li]
+		}
+	}
+	return n
+}
+
+// HasMBWork reports whether any memory block remains to be issued
+// (whether or not currently unlocked or fitting in SRAM).
+func (v *View) HasMBWork() bool {
+	for _, s := range v.nets {
+		for li, l := range s.cn.Layers {
+			if s.mbIssued[li] < l.Iters {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RequestSplit halts the executing compute block (the paper's CB
+// split): the executed portion is kept, the remainder returns to
+// candidacy with a PE refill penalty, and any ahead-of-execution
+// claims on that layer are released. It returns false when there is
+// nothing to split (PE idle or the block just started). The engine
+// invokes OnCBSplit on the scheduler after a successful split.
+func (v *View) RequestSplit() bool {
+	if !v.peBusy || v.now <= v.cbStart {
+		return false
+	}
+	v.splitRequested = true
+	return true
+}
