@@ -1,0 +1,29 @@
+# Standard entrypoints. `make check` is the full verification gate:
+# vet + build + race-enabled tests (the race run also proves the
+# parallel sweep engine's determinism test clean).
+
+GO ?= go
+
+.PHONY: check build test race vet bench golden
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the golden paper-figure outputs under testdata/ after an
+# intentional change to an experiment.
+golden:
+	$(GO) test -run TestGoldenExperiments -update .

@@ -28,6 +28,7 @@ import (
 	"aimt/internal/nn"
 	"aimt/internal/sched"
 	"aimt/internal/sim"
+	"aimt/internal/sweep"
 	"aimt/internal/workload"
 )
 
@@ -127,11 +128,40 @@ func Run(cfg Config, nets []*Compiled, s Scheduler, opts RunOptions) (*Result, e
 	return sim.Run(cfg, nets, s, opts)
 }
 
+// ErrInvariant wraps every violation the opt-in machine-model
+// invariant checker (RunOptions.CheckInvariants) reports; see
+// sim.ErrInvariant.
+var ErrInvariant = sim.ErrInvariant
+
+// SweepJob is one simulation of a parallel sweep; see sweep.Job.
+type SweepJob = sweep.Job
+
+// SweepOutcome is one sweep job's result; see sweep.Outcome.
+type SweepOutcome = sweep.Outcome
+
+// SweepOptions tunes a sweep; see sweep.Options.
+type SweepOptions = sweep.Options
+
+// RunSweep fans independent simulations over a worker pool with
+// deterministic, job-ordered aggregation; see sweep.Run. The
+// experiment drivers (Fig7Data ... ServingData) run on it — see
+// SetSweepParallelism for their worker cap.
+func RunSweep(jobs []SweepJob, opts SweepOptions) []SweepOutcome { return sweep.Run(jobs, opts) }
+
+// SweepError returns the first failed outcome's error, annotated with
+// the job's labels; see sweep.FirstError.
+func SweepError(outs []SweepOutcome) error { return sweep.FirstError(outs) }
+
 // Baseline schedulers (§III-B, Fig 6).
 
 // NewFIFO returns the network-serial baseline with double-buffered
 // weight prefetching.
 func NewFIFO() Scheduler { return sched.NewFIFO() }
+
+// NewSerialFIFO returns the fully serialized FIFO variant (no
+// prefetch overlap at all); its makespan is the analytic serialized
+// bound the differential tests check against.
+func NewSerialFIFO() Scheduler { return sched.NewSerialFIFO() }
 
 // NewRR returns the round-robin baseline.
 func NewRR() Scheduler { return sched.NewRR() }

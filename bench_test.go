@@ -472,6 +472,25 @@ func BenchmarkExtensionTenantPriority(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWorkers measures sweep-engine scaling: the Fig 14
+// mix × mechanism cross-product at increasing worker counts. The
+// aggregated results are identical at every width (see
+// TestSweepParallelismDeterminism); only wall clock changes.
+func BenchmarkSweepWorkers(b *testing.B) {
+	cfg := PaperConfig()
+	defer SetSweepParallelism(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			SetSweepParallelism(workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig14Data(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated
 // blocks per second on the heaviest single mix.
 func BenchmarkSimulatorThroughput(b *testing.B) {

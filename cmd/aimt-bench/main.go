@@ -2,9 +2,14 @@
 //
 // Usage:
 //
-//	aimt-bench             # regenerate everything, in paper order
-//	aimt-bench -exp fig14  # one experiment
-//	aimt-bench -list       # list experiment ids
+//	aimt-bench              # regenerate everything, in paper order
+//	aimt-bench -exp fig14   # one experiment
+//	aimt-bench -list        # list experiment ids
+//	aimt-bench -parallel 8  # cap the simulation worker pool at 8
+//
+// The experiments fan their simulations over a worker pool sized to
+// GOMAXPROCS by default; -parallel caps it (1 forces serial). Output
+// is identical at every setting.
 package main
 
 import (
@@ -17,10 +22,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (empty = all)")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id (empty = all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	aimt.SetSweepParallelism(*parallel)
 
 	exps := aimt.Experiments()
 	if *list {

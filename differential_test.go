@@ -1,0 +1,62 @@
+package aimt
+
+import (
+	"testing"
+
+	"aimt/internal/analysis"
+)
+
+// Differential tests: the simulator against closed-form timing. With
+// feature transfers instant (HostBandwidth = 0) a single network under
+// the fully serialized FIFO alternates fetch and compute with no
+// overlap, so its makespan must equal the analytic serialized bound —
+// the sum of every layer's memory and compute latency, exactly the
+// quantities analysis.LatencyRatios reports for Fig 5.
+func TestDifferentialSerializedBound(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.HostBandwidth = 0 // instant feature transfers: pure weight/compute timeline
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"VGG16", "RN50", "MN", "GNMT"} {
+		net, err := NetworkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := Compile(net, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var serialized Cycles
+		for _, r := range analysis.LatencyRatios(cn) {
+			serialized += r.ComputeCycles + r.MemoryCycles
+		}
+
+		res, err := Run(cfg, []*Compiled{cn}, NewSerialFIFO(), RunOptions{CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Makespan != serialized {
+			t.Errorf("%s: SerialFIFO makespan %d != analytic serialized bound %d (drift %+d)",
+				name, res.Makespan, serialized, res.Makespan-serialized)
+		}
+		if res.Splits != 0 {
+			t.Errorf("%s: serialized run split %d compute blocks", name, res.Splits)
+		}
+
+		// The double-buffered FIFO overlaps fetch with compute: its
+		// makespan lands between the ideal overlap bound and the
+		// serialized schedule.
+		overlapped, err := Run(cfg, []*Compiled{cn}, NewFIFO(), RunOptions{CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s under FIFO: %v", name, err)
+		}
+		if ideal := IdealBound([]*Compiled{cn}); overlapped.Makespan < ideal {
+			t.Errorf("%s: FIFO makespan %d below the ideal bound %d", name, overlapped.Makespan, ideal)
+		}
+		if overlapped.Makespan > serialized {
+			t.Errorf("%s: FIFO makespan %d above the serialized schedule %d — prefetch made it slower",
+				name, overlapped.Makespan, serialized)
+		}
+	}
+}

@@ -4,14 +4,47 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"aimt/internal/analysis"
 	"aimt/internal/arch"
 	"aimt/internal/metrics"
 	"aimt/internal/nn"
 	"aimt/internal/power"
+	"aimt/internal/sweep"
 	"aimt/internal/workload"
 )
+
+// sweepParallelism caps the worker pool the experiment drivers hand to
+// the sweep engine; 0 means GOMAXPROCS. cmd/aimt-bench's -parallel
+// flag lands here.
+var sweepParallelism atomic.Int64
+
+// SetSweepParallelism caps the worker pool used by the experiment
+// drivers' simulation sweeps. n == 1 forces serial execution; n <= 0
+// restores the GOMAXPROCS default. Results are identical at every
+// setting — the sweep engine aggregates in job order, not completion
+// order.
+func SetSweepParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sweepParallelism.Store(int64(n))
+}
+
+// SweepParallelism reports the current driver worker cap (0 =
+// GOMAXPROCS).
+func SweepParallelism() int { return int(sweepParallelism.Load()) }
+
+// runSweep fans the jobs over the configured worker pool and fails on
+// the first job error.
+func runSweep(jobs []sweep.Job) ([]sweep.Outcome, error) {
+	outs := sweep.Run(jobs, sweep.Options{Workers: SweepParallelism()})
+	if err := sweep.FirstError(outs); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
 
 // This file contains the drivers that regenerate every table and
 // figure of the paper's evaluation (§V). Each FigNData/TableNRows
@@ -63,32 +96,39 @@ type MixOutcome struct {
 
 // runMixes simulates every paper mix at the given batch under the
 // schedulers produced by mk (called fresh per run — schedulers carry
-// state) and returns outcomes keyed in input order, FIFO included
-// first as the baseline.
+// state) and returns outcomes keyed in input order. The runs — one
+// FIFO baseline plus one per name, per mix — fan out over the sweep
+// engine's worker pool (see SetSweepParallelism).
 func runMixes(cfg Config, batch int, names []string, mk func(name string, mix *workload.Mix) Scheduler) ([]MixOutcome, error) {
-	var out []MixOutcome
+	var jobs []sweep.Job
 	for _, spec := range PaperMixes() {
 		mix, err := BuildMix(cfg, spec, batch)
 		if err != nil {
 			return nil, err
 		}
-		base, err := Run(cfg, mix.Nets, NewFIFO(), RunOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("%s under FIFO: %w", mix.Name, err)
-		}
+		jobs = append(jobs, sweep.Job{Mix: mix.Name, Cfg: cfg, Nets: mix.Nets,
+			New: func() Scheduler { return NewFIFO() }})
 		for _, name := range names {
-			s := mk(name, mix)
-			res, err := Run(cfg, mix.Nets, s, RunOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", mix.Name, s.Name(), err)
-			}
+			jobs = append(jobs, sweep.Job{Mix: mix.Name, Cfg: cfg, Nets: mix.Nets,
+				New: func() Scheduler { return mk(name, mix) }})
+		}
+	}
+	outs, err := runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + len(names)
+	var out []MixOutcome
+	for i := 0; i < len(outs); i += stride {
+		base := outs[i].Res
+		for _, o := range outs[i+1 : i+stride] {
 			out = append(out, MixOutcome{
-				Mix:       mix.Name,
-				Scheduler: s.Name(),
-				Speedup:   metrics.Speedup(base, res),
-				MemUtil:   res.MemUtilization(),
-				PEUtil:    res.PEUtilization(),
-				Splits:    res.Splits,
+				Mix:       o.Mix,
+				Scheduler: o.Scheduler,
+				Speedup:   metrics.Speedup(base, o.Res),
+				MemUtil:   o.Res.MemUtilization(),
+				PEUtil:    o.Res.PEUtilization(),
+				Splits:    o.Res.Splits,
 			})
 		}
 	}
@@ -232,25 +272,33 @@ func Fig15Data(cfg Config, batches []int) ([]BatchPoint, error) {
 	if len(batches) == 0 {
 		batches = Fig15Batches
 	}
-	var out []BatchPoint
+	var jobs []sweep.Job
 	for _, spec := range workload.GNMTMixes() {
 		for _, b := range batches {
 			mix, err := BuildMix(cfg, spec, b)
 			if err != nil {
 				return nil, err
 			}
-			base, err := Run(cfg, mix.Nets, NewFIFO(), RunOptions{})
-			if err != nil {
-				return nil, err
-			}
-			mg, err := Run(cfg, mix.Nets, NewAIMT(cfg, PrefetchMerge()), RunOptions{})
-			if err != nil {
-				return nil, err
-			}
-			all, err := Run(cfg, mix.Nets, NewAIMT(cfg, AllMechanisms()), RunOptions{})
-			if err != nil {
-				return nil, err
-			}
+			label := fmt.Sprintf("%s@batch%d", spec.Name, b)
+			jobs = append(jobs,
+				sweep.Job{Mix: label, Cfg: cfg, Nets: mix.Nets,
+					New: func() Scheduler { return NewFIFO() }},
+				sweep.Job{Mix: label, Cfg: cfg, Nets: mix.Nets,
+					New: func() Scheduler { return NewAIMT(cfg, PrefetchMerge()) }},
+				sweep.Job{Mix: label, Cfg: cfg, Nets: mix.Nets,
+					New: func() Scheduler { return NewAIMT(cfg, AllMechanisms()) }})
+		}
+	}
+	outs, err := runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []BatchPoint
+	i := 0
+	for _, spec := range workload.GNMTMixes() {
+		for _, b := range batches {
+			base, mg, all := outs[i].Res, outs[i+1].Res, outs[i+2].Res
+			i += 3
 			out = append(out, BatchPoint{
 				Mix:          spec.Name,
 				Batch:        b,
@@ -298,7 +346,7 @@ func Fig16Data(cfg Config, sizes []Bytes) ([]SRAMPoint, error) {
 		sizes = Fig16Sizes
 	}
 	spec := PaperMixes()[3] // RN34+RN50+MN+GNMT
-	var out []SRAMPoint
+	var jobs []sweep.Job
 	for _, sz := range sizes {
 		c := cfg
 		c.WeightSRAM = sz
@@ -309,25 +357,27 @@ func Fig16Data(cfg Config, sizes []Bytes) ([]SRAMPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := Run(c, mix.Nets, NewFIFO(), RunOptions{})
-		if err != nil {
-			return nil, err
-		}
+		label := fmt.Sprintf("%s@%s", mix.Name, arch.FormatBytes(sz))
+		jobs = append(jobs,
+			sweep.Job{Mix: label, Cfg: c, Nets: mix.Nets,
+				New: func() Scheduler { return NewFIFO() }},
+			sweep.Job{Mix: label, Scheduler: "ComputeFirst+PF", Cfg: c, Nets: mix.Nets,
+				New: func() Scheduler { return NewComputeFirst(mix.MemHeavy) }},
+			sweep.Job{Mix: label, Scheduler: "Greedy+PF", Cfg: c, Nets: mix.Nets,
+				New: func() Scheduler { return NewGreedyPrefetch() }},
+			sweep.Job{Mix: label, Scheduler: "AI-MT", Cfg: c, Nets: mix.Nets,
+				New: func() Scheduler { return NewAIMT(c, AllMechanisms()) }})
+	}
+	outs, err := runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []SRAMPoint
+	for i, sz := range sizes {
+		o := outs[i*4 : i*4+4]
 		pt := SRAMPoint{SRAM: sz, Speedups: map[string]float64{}}
-		runs := []struct {
-			key string
-			s   Scheduler
-		}{
-			{"ComputeFirst+PF", NewComputeFirst(mix.MemHeavy)},
-			{"Greedy+PF", NewGreedyPrefetch()},
-			{"AI-MT", NewAIMT(c, AllMechanisms())},
-		}
-		for _, r := range runs {
-			res, err := Run(c, mix.Nets, r.s, RunOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("fig16 %s at %s: %w", r.key, arch.FormatBytes(sz), err)
-			}
-			pt.Speedups[r.key] = metrics.Speedup(base, res)
+		for _, r := range o[1:] {
+			pt.Speedups[r.Scheduler] = metrics.Speedup(o[0].Res, r.Res)
 		}
 		out = append(out, pt)
 	}
@@ -418,25 +468,30 @@ func ServingData(cfg Config) ([]ServingPoint, error) {
 	}
 	runs := []struct {
 		name string
-		s    Scheduler
+		mk   func() Scheduler
 	}{
-		{"FIFO", NewFIFO()},
-		{"PREMA", NewPREMA(nil)},
-		{"AI-MT", NewAIMT(cfg, AllMechanisms())},
+		{"FIFO", func() Scheduler { return NewFIFO() }},
+		{"PREMA", func() Scheduler { return NewPREMA(nil) }},
+		{"AI-MT", func() Scheduler { return NewAIMT(cfg, AllMechanisms()) }},
+	}
+	var jobs []sweep.Job
+	for _, r := range runs {
+		jobs = append(jobs, sweep.Job{Mix: "serving", Scheduler: r.name, Cfg: cfg,
+			Nets: stream.Nets, New: r.mk, Opts: RunOptions{Arrivals: stream.Arrivals}})
+	}
+	outs, err := runSweep(jobs)
+	if err != nil {
+		return nil, err
 	}
 	var out []ServingPoint
-	for _, r := range runs {
-		res, err := Run(cfg, stream.Nets, r.s, RunOptions{Arrivals: stream.Arrivals})
-		if err != nil {
-			return nil, fmt.Errorf("serving under %s: %w", r.name, err)
-		}
-		lat := metrics.Latencies(res)
+	for _, o := range outs {
+		lat := metrics.Latencies(o.Res)
 		out = append(out, ServingPoint{
-			Scheduler: r.name,
-			Makespan:  res.Makespan,
+			Scheduler: o.Scheduler,
+			Makespan:  o.Res.Makespan,
 			P50:       metrics.Percentile(lat, 50),
 			P99:       metrics.Percentile(lat, 99),
-			PEUtil:    res.PEUtilization(),
+			PEUtil:    o.Res.PEUtilization(),
 		})
 	}
 	return out, nil

@@ -81,8 +81,20 @@ type FIFO struct{ base }
 // NewFIFO returns a FIFO scheduler with double-buffered prefetching.
 func NewFIFO() *FIFO { return &FIFO{base{depth: 2}} }
 
+// NewSerialFIFO returns a FIFO scheduler with no prefetching at all:
+// at most one memory block in flight, so every fetch and compute
+// fully serialize. Its makespan is the analytic serialized bound
+// (the sum of all MB and CB cycles) — the reference point the
+// differential tests compare the simulator against.
+func NewSerialFIFO() *FIFO { return &FIFO{base{depth: 1}} }
+
 // Name implements sim.Scheduler.
-func (*FIFO) Name() string { return "FIFO" }
+func (f *FIFO) Name() string {
+	if f.depth == 1 {
+		return "SerialFIFO"
+	}
+	return "FIFO"
+}
 
 // PickMB implements sim.Scheduler: the lowest (net, layer) candidate.
 func (f *FIFO) PickMB(v *sim.View) (sim.MBRef, bool) {

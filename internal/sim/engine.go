@@ -39,8 +39,15 @@ type Options struct {
 	// arrival at cycle zero.
 	Arrivals []arch.Cycles
 
-	// CheckInvariants runs SRAM-consistency checks on every compute
-	// block completion. Slow; intended for tests.
+	// CheckInvariants validates the machine-model invariants at every
+	// engine event against an independent shadow of the machine state:
+	// the HBM channel and PE complex each execute one block at a time,
+	// SRAM occupancy never exceeds capacity (and the allocator's chains
+	// stay consistent), no compute block starts before its memory
+	// blocks and predecessor layers complete, event time is monotonic,
+	// and split/resume conserves compute-block work. Violations abort
+	// the run with an error wrapping ErrInvariant. Slow; intended for
+	// tests and the sweep engine's verification mode.
 	CheckInvariants bool
 }
 
@@ -114,6 +121,10 @@ type engine struct {
 	hostEnd  arch.Cycles
 	curHost  hostXfer
 
+	// chk, when non-nil, validates machine-model invariants at every
+	// event (Options.CheckInvariants).
+	chk *checker
+
 	res Result
 }
 
@@ -144,6 +155,9 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 		v.nets = append(v.nets, newNetState(cn))
 	}
 	e := &engine{v: v, sch: sch, opts: opts}
+	if opts.CheckInvariants {
+		e.chk = newChecker(v)
+	}
 	e.res.Scheduler = sch.Name()
 	e.res.BlockBytes = cfg.BlockBytes()
 	e.res.NetNames = make([]string, len(nets))
@@ -170,6 +184,11 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 		return nil, err
 	}
 	e.res.Makespan = v.now
+	if e.chk != nil {
+		if err := e.chk.finish(&e.res); err != nil {
+			return nil, err
+		}
+	}
 	return &e.res, nil
 }
 
@@ -205,6 +224,11 @@ func (e *engine) loop() error {
 		}
 		if next > e.opts.MaxCycles {
 			return fmt.Errorf("%w (%d)", ErrTimeLimit, e.opts.MaxCycles)
+		}
+		if e.chk != nil {
+			if err := e.chk.advance(next); err != nil {
+				return err
+			}
 		}
 		v.now = next
 
@@ -267,7 +291,9 @@ func (e *engine) scheduleAll() error {
 
 		if !v.peBusy {
 			if r, ok := e.sch.PickCB(v); ok && v.IsCBExecutable(r) {
-				e.startCB(r)
+				if err := e.startCB(r); err != nil {
+					return err
+				}
 				progress = true
 			}
 		}
@@ -300,6 +326,11 @@ func (e *engine) issueMB(r MBRef) error {
 	v.memBusy = true
 	v.curMB = r
 	v.memEnd = v.now + e.opts.SchedulerLatency + l.MBCycles
+	if e.chk != nil {
+		if err := e.chk.mbIssue(r, l.MBBlocks); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -313,6 +344,11 @@ func (e *engine) completeMB() error {
 	e.res.MemBusy += l.MBCycles
 	e.res.MBCount++
 	e.trace("mem", "MB:"+l.Name, r.Net, r.Layer, r.Iter, start, v.now)
+	if e.chk != nil {
+		if err := e.chk.mbDone(r, start, v.now); err != nil {
+			return err
+		}
+	}
 
 	s.mbDone[r.Layer]++
 	if s.mbDone[r.Layer] == l.Iters {
@@ -324,7 +360,7 @@ func (e *engine) completeMB() error {
 	return nil
 }
 
-func (e *engine) startCB(r CBRef) {
+func (e *engine) startCB(r CBRef) error {
 	v := e.v
 	s := v.nets[r.Net]
 	if s.cbSelected[r.Layer] == s.cbDone[r.Layer] {
@@ -336,7 +372,13 @@ func (e *engine) startCB(r CBRef) {
 	v.cbStart = v.now
 	v.curCBWork = work
 	v.peEnd = v.now + work
+	if e.chk != nil {
+		if err := e.chk.cbStart(r, work); err != nil {
+			return err
+		}
+	}
 	e.sch.OnCBStart(v, r)
+	return nil
 }
 
 func (e *engine) completeCB() error {
@@ -352,6 +394,11 @@ func (e *engine) completeCB() error {
 	if err := v.buf.Consume(&s.chains[r.Layer], l.MBBlocks); err != nil {
 		return fmt.Errorf("sim: complete CB %+v: %w", r, err)
 	}
+	if e.chk != nil {
+		if err := e.chk.cbDone(r, v.cbStart, v.now, l.MBBlocks); err != nil {
+			return err
+		}
+	}
 	s.remnant[r.Layer] = 0
 	s.cbDone[r.Layer]++
 	if s.cbDone[r.Layer] == l.Iters {
@@ -361,11 +408,6 @@ func (e *engine) completeCB() error {
 		s.layersLeft--
 		if s.layersLeft == 0 {
 			e.finishCompute(r.Net)
-		}
-	}
-	if e.opts.CheckInvariants {
-		if err := e.checkSRAM(); err != nil {
-			return err
 		}
 	}
 	e.sch.OnCBDone(v, r)
@@ -389,6 +431,11 @@ func (e *engine) applySplit() error {
 	e.res.Splits++
 	e.trace("pe", "CB(split):"+l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
 
+	if e.chk != nil {
+		if err := e.chk.cbSplit(r, v.cbStart, v.now, remaining); err != nil {
+			return err
+		}
+	}
 	s.remnant[r.Layer] = remaining
 	s.cbSelected[r.Layer] = s.cbDone[r.Layer]
 	e.sch.OnCBSplit(v, r, remaining)
@@ -425,6 +472,9 @@ func (e *engine) completeHost() {
 func (e *engine) finishHostIn(net int) {
 	s := e.v.nets[net]
 	s.hostInDone = true
+	if e.chk != nil {
+		e.chk.hostIn(net)
+	}
 	for li, l := range s.cn.Layers {
 		if len(l.Deps) == 0 {
 			s.cbIndeg[li]--
@@ -446,16 +496,6 @@ func (e *engine) allDone() bool {
 		}
 	}
 	return len(e.hostQ) == 0 && !e.hostBusy
-}
-
-func (e *engine) checkSRAM() error {
-	var chains []*sram.Chain
-	for _, s := range e.v.nets {
-		for i := range s.chains {
-			chains = append(chains, &s.chains[i])
-		}
-	}
-	return e.v.buf.Check(chains)
 }
 
 func (e *engine) trace(engineName, name string, net, layer, iter int, start, end arch.Cycles) {

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"aimt/internal/arch"
+	"aimt/internal/sram"
+)
+
+// ErrInvariant wraps every machine-model invariant violation reported
+// by the opt-in checker (Options.CheckInvariants), so callers can
+// errors.Is for it.
+var ErrInvariant = errors.New("sim: machine invariant violated")
+
+// checker validates the machine-model invariants at every engine
+// event. It keeps its own shadow copy of the machine state — derived
+// only from the event stream, never read back from the engine's
+// bookkeeping — so that a scheduler (or a future engine refactor) that
+// corrupts engine state is caught the moment the corruption becomes
+// observable:
+//
+//  1. the HBM channel and the PE complex each execute one block at a
+//     time (occupancy intervals never overlap);
+//  2. weight-SRAM occupancy never exceeds capacity, and the allocator's
+//     chains stay consistent with the shadow occupancy;
+//  3. no compute block starts before all of its memory blocks complete
+//     and before every predecessor layer's compute blocks complete;
+//  4. event time is monotonically non-decreasing;
+//  5. split/resume conserves compute-block work: the segments of a
+//     halted block sum to its full cycles plus one refill penalty per
+//     resume.
+type checker struct {
+	v    *View
+	fill arch.Cycles
+
+	now arch.Cycles
+
+	// Engine occupancy shadows: whether a block is in flight and when
+	// the last completed interval ended.
+	memInFlight bool
+	peInFlight  bool
+	memFree     arch.Cycles
+	peFree      arch.Cycles
+
+	// used is the shadow weight-SRAM occupancy in blocks, counted from
+	// MB issues and CB completions only.
+	used int
+
+	nets []netShadow
+
+	mbCount, cbCount, splitCount int
+}
+
+// netShadow is the checker's independent progress record for one
+// network instance.
+type netShadow struct {
+	hostInDone bool
+	layers     []layerShadow
+}
+
+// layerShadow shadows one layer's sub-layer progress.
+type layerShadow struct {
+	mbIssued int
+	mbDone   int
+	cbDone   int
+
+	// executed accumulates the PE time spent on the layer's current
+	// (possibly split) compute block; resumes counts its halts.
+	executed arch.Cycles
+	resumes  int
+}
+
+func newChecker(v *View) *checker {
+	c := &checker{v: v, fill: v.cfg.FillLatency, nets: make([]netShadow, len(v.nets))}
+	for i, s := range v.nets {
+		c.nets[i].layers = make([]layerShadow, len(s.cn.Layers))
+	}
+	return c
+}
+
+func (c *checker) violate(format string, args ...any) error {
+	return fmt.Errorf("%w at cycle %d: %s", ErrInvariant, c.now, fmt.Sprintf(format, args...))
+}
+
+// advance checks invariant 4: simulation time never moves backwards.
+func (c *checker) advance(t arch.Cycles) error {
+	if t < c.now {
+		return c.violate("time moved backwards to %d", t)
+	}
+	c.now = t
+	return nil
+}
+
+// hostIn records that a network's input features arrived.
+func (c *checker) hostIn(net int) {
+	c.nets[net].hostInDone = true
+}
+
+// mbIssue checks invariants 1 and 2 at memory-block issue: the channel
+// must be free, the MB must be the layer's next, and the allocation
+// must fit the SRAM.
+func (c *checker) mbIssue(r MBRef, blocks int) error {
+	if c.memInFlight {
+		return c.violate("MB %+v issued while the HBM channel executes another block", r)
+	}
+	sh := &c.nets[r.Net].layers[r.Layer]
+	if r.Iter != sh.mbIssued {
+		return c.violate("MB %+v issued out of order (next iter %d)", r, sh.mbIssued)
+	}
+	if r.Iter >= c.v.nets[r.Net].cn.Layers[r.Layer].Iters {
+		return c.violate("MB %+v beyond the layer's %d sub-layers", r, c.v.nets[r.Net].cn.Layers[r.Layer].Iters)
+	}
+	c.used += blocks
+	if cap := c.v.buf.NumBlocks(); c.used > cap {
+		return c.violate("SRAM occupancy %d blocks exceeds capacity %d after MB %+v", c.used, cap, r)
+	}
+	sh.mbIssued++
+	c.memInFlight = true
+	return nil
+}
+
+// mbDone checks invariant 1 on the completed fetch interval.
+func (c *checker) mbDone(r MBRef, start, end arch.Cycles) error {
+	if !c.memInFlight {
+		return c.violate("MB %+v completed but none was in flight", r)
+	}
+	c.memInFlight = false
+	if end < start {
+		return c.violate("MB %+v interval [%d,%d) runs backwards", r, start, end)
+	}
+	if start < c.memFree {
+		return c.violate("MB %+v interval [%d,%d) overlaps the previous fetch ending at %d", r, start, end, c.memFree)
+	}
+	c.memFree = end
+	sh := &c.nets[r.Net].layers[r.Layer]
+	sh.mbDone++
+	if sh.mbDone > sh.mbIssued {
+		return c.violate("MB %+v completed more times than issued (%d > %d)", r, sh.mbDone, sh.mbIssued)
+	}
+	c.mbCount++
+	return nil
+}
+
+// cbStart checks invariants 1 and 3 at compute-block start: the PE
+// complex must be free, the block's weights must have been fetched
+// (per the checker's own MB completion count), and every predecessor
+// layer must have finished computing.
+func (c *checker) cbStart(r CBRef, work arch.Cycles) error {
+	if c.peInFlight {
+		return c.violate("CB %+v started while the PE complex executes another block", r)
+	}
+	if work <= 0 {
+		return c.violate("CB %+v started with non-positive work %d", r, work)
+	}
+	ns := &c.nets[r.Net]
+	sh := &ns.layers[r.Layer]
+	if r.Iter != sh.cbDone {
+		return c.violate("CB %+v started out of order (next iter %d)", r, sh.cbDone)
+	}
+	if r.Iter >= sh.mbDone {
+		return c.violate("CB %+v started before its memory block completed (%d fetched)", r, sh.mbDone)
+	}
+	l := c.v.nets[r.Net].cn.Layers[r.Layer]
+	if len(l.Deps) == 0 && !ns.hostInDone {
+		return c.violate("CB %+v started before the network's host input arrived", r)
+	}
+	for _, d := range l.Deps {
+		if ns.layers[d].cbDone < c.v.nets[r.Net].cn.Layers[d].Iters {
+			return c.violate("CB %+v started before predecessor layer %d finished (%d/%d CBs)",
+				r, d, ns.layers[d].cbDone, c.v.nets[r.Net].cn.Layers[d].Iters)
+		}
+	}
+	c.peInFlight = true
+	return nil
+}
+
+// cbDone checks invariants 1, 2 and 5 at compute-block completion.
+func (c *checker) cbDone(r CBRef, start, end arch.Cycles, blocks int) error {
+	if !c.peInFlight {
+		return c.violate("CB %+v completed but none was executing", r)
+	}
+	c.peInFlight = false
+	if end < start {
+		return c.violate("CB %+v interval [%d,%d) runs backwards", r, start, end)
+	}
+	if start < c.peFree {
+		return c.violate("CB %+v interval [%d,%d) overlaps the previous block ending at %d", r, start, end, c.peFree)
+	}
+	c.peFree = end
+
+	sh := &c.nets[r.Net].layers[r.Layer]
+	sh.executed += end - start
+	want := c.v.nets[r.Net].cn.Layers[r.Layer].CBCycles + arch.Cycles(sh.resumes)*c.fill
+	if sh.executed != want {
+		return c.violate("CB %+v executed %d cycles over %d resume(s), want %d (split/resume lost work)",
+			r, sh.executed, sh.resumes, want)
+	}
+	sh.executed, sh.resumes = 0, 0
+	sh.cbDone++
+	if sh.cbDone > sh.mbDone {
+		return c.violate("CB %+v completed before its memory block (%d fetched)", r, sh.mbDone)
+	}
+
+	c.used -= blocks
+	if c.used < 0 {
+		return c.violate("CB %+v freed more SRAM blocks than were allocated", r)
+	}
+	if got := c.v.buf.UsedBlocks(); got != c.used {
+		return c.violate("allocator occupancy %d blocks disagrees with the event stream's %d", got, c.used)
+	}
+	if err := c.checkSRAM(); err != nil {
+		return c.violate("%v", err)
+	}
+	c.cbCount++
+	return nil
+}
+
+// cbSplit checks invariants 1 and 5 when the engine halts a compute
+// block: the executed and remaining portions must add up to the work
+// the block was assigned.
+func (c *checker) cbSplit(r CBRef, start, end, remaining arch.Cycles) error {
+	if !c.peInFlight {
+		return c.violate("CB %+v split but none was executing", r)
+	}
+	c.peInFlight = false
+	if end <= start {
+		return c.violate("CB %+v split with empty interval [%d,%d)", r, start, end)
+	}
+	if start < c.peFree {
+		return c.violate("CB %+v split interval [%d,%d) overlaps the previous block ending at %d", r, start, end, c.peFree)
+	}
+	if remaining <= 0 {
+		return c.violate("CB %+v split with nothing remaining", r)
+	}
+	c.peFree = end
+
+	sh := &c.nets[r.Net].layers[r.Layer]
+	sh.executed += end - start
+	sh.resumes++
+	want := c.v.nets[r.Net].cn.Layers[r.Layer].CBCycles + arch.Cycles(sh.resumes-1)*c.fill
+	if sh.executed+remaining != want {
+		return c.violate("CB %+v split: executed %d + remaining %d != %d (work not conserved)",
+			r, sh.executed, remaining, want)
+	}
+	c.splitCount++
+	return nil
+}
+
+// checkSRAM verifies the allocator's free list and per-layer chains
+// against each other (invariant 2's structural half).
+func (c *checker) checkSRAM() error {
+	var chains []*sram.Chain
+	for _, s := range c.v.nets {
+		for i := range s.chains {
+			chains = append(chains, &s.chains[i])
+		}
+	}
+	return c.v.buf.Check(chains)
+}
+
+// finish runs the end-of-simulation checks: every sub-layer fetched
+// and computed exactly once, all SRAM returned, and the engine's
+// aggregate counters agreeing with the event stream.
+func (c *checker) finish(res *Result) error {
+	if c.memInFlight || c.peInFlight {
+		return c.violate("run finished with a block still in flight")
+	}
+	if c.used != 0 {
+		return c.violate("run finished with %d SRAM blocks still allocated", c.used)
+	}
+	if free, total := c.v.buf.FreeBlocks(), c.v.buf.NumBlocks(); free != total {
+		return c.violate("allocator reports %d/%d blocks free after completion", free, total)
+	}
+	for ni := range c.nets {
+		for li, sh := range c.nets[ni].layers {
+			iters := c.v.nets[ni].cn.Layers[li].Iters
+			if sh.mbDone != iters || sh.cbDone != iters {
+				return c.violate("net %d layer %d finished %d/%d MBs and %d/%d CBs",
+					ni, li, sh.mbDone, iters, sh.cbDone, iters)
+			}
+			if sh.executed != 0 || sh.resumes != 0 {
+				return c.violate("net %d layer %d left a half-executed compute block", ni, li)
+			}
+		}
+	}
+	if res.MBCount != c.mbCount || res.CBCount != c.cbCount || res.Splits != c.splitCount {
+		return c.violate("result counts MB=%d CB=%d splits=%d disagree with the event stream's %d/%d/%d",
+			res.MBCount, res.CBCount, res.Splits, c.mbCount, c.cbCount, c.splitCount)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+	"aimt/internal/sram"
+)
+
+// The invariant checker keeps shadow state derived purely from the
+// event stream, so a scheduler (or an engine regression) that corrupts
+// the engine's bookkeeping is caught at the first observable
+// violation. These tests sabotage the machine deliberately and assert
+// the checker fires; the positive direction — every legitimate
+// scheduler passing with invariants on — is covered by the root
+// package's property tests.
+
+// spoofResidency is a deliberately broken scheduler: when a memory
+// block completes it marks the whole layer as fetched, so compute
+// blocks start before their weights arrive.
+type spoofResidency struct{ NopHooks }
+
+func (spoofResidency) Name() string { return "spoof-residency" }
+
+func (spoofResidency) PickMB(v *View) (MBRef, bool) {
+	for _, m := range v.MBCandidates(nil) {
+		if v.IsMBIssuable(m) {
+			return m, true
+		}
+	}
+	return MBRef{}, false
+}
+
+func (spoofResidency) PickCB(v *View) (CBRef, bool) {
+	cbs := v.ReadyCBs(nil)
+	if len(cbs) == 0 {
+		return CBRef{}, false
+	}
+	return cbs[0], true
+}
+
+func (spoofResidency) OnMBDone(v *View, r MBRef) {
+	// The sabotage: pretend every sub-layer of the layer is resident.
+	v.nets[r.Net].mbDone[r.Layer] = v.nets[r.Net].cn.Layers[r.Layer].Iters
+}
+
+func TestInvariantCatchesCBBeforeMB(t *testing.T) {
+	cfg := testConfig(t)
+	cn := chainNet("n", cfg, layerSpec{mb: 10, cb: 5, iters: 2, blocks: 1})
+	_, err := Run(cfg, []*compiler.CompiledNetwork{cn}, spoofResidency{}, Options{CheckInvariants: true})
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("err = %v, want ErrInvariant (CB started before its MB completed)", err)
+	}
+}
+
+// workThief splits the executing compute block once and then inflates
+// the halted remainder, so the resumed block executes more cycles than
+// the layer owns — a split/resume that fails to conserve work.
+type workThief struct {
+	NopHooks
+	split bool
+	steal arch.Cycles
+}
+
+func (*workThief) Name() string { return "work-thief" }
+
+func (w *workThief) PickMB(v *View) (MBRef, bool) {
+	for _, m := range v.MBCandidates(nil) {
+		if v.IsMBIssuable(m) {
+			return m, true
+		}
+	}
+	return MBRef{}, false
+}
+
+func (w *workThief) PickCB(v *View) (CBRef, bool) {
+	cbs := v.ReadyCBs(nil)
+	if len(cbs) == 0 {
+		return CBRef{}, false
+	}
+	return cbs[0], true
+}
+
+func (w *workThief) OnMBDone(v *View, r MBRef) {
+	if !w.split {
+		if v.RequestSplit() {
+			w.split = true
+		}
+	}
+}
+
+func (w *workThief) OnCBSplit(v *View, r CBRef, remaining arch.Cycles) {
+	// The sabotage: tamper with the halted remainder.
+	v.nets[r.Net].remnant[r.Layer] = remaining + w.steal
+}
+
+func TestInvariantCatchesSplitWorkLoss(t *testing.T) {
+	cfg := testConfig(t)
+	cn := chainNet("n", cfg, layerSpec{mb: 5, cb: 50, iters: 3, blocks: 1})
+	for _, steal := range []arch.Cycles{7, -7} {
+		_, err := Run(cfg, []*compiler.CompiledNetwork{cn}, &workThief{steal: steal}, Options{CheckInvariants: true})
+		if !errors.Is(err, ErrInvariant) {
+			t.Errorf("steal %d: err = %v, want ErrInvariant (work not conserved)", steal, err)
+		}
+	}
+	// The same split pattern without tampering must pass: the checker
+	// accepts a legitimate halt/resume.
+	res, err := Run(cfg, []*compiler.CompiledNetwork{cn}, &workThief{}, Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatalf("legitimate split rejected: %v", err)
+	}
+	if res.Splits != 1 {
+		t.Errorf("splits = %d, want 1", res.Splits)
+	}
+	if want := 3*50 + arch.Cycles(res.Splits)*cfg.FillLatency; res.PEBusy != want {
+		t.Errorf("PEBusy = %d, want %d (work + refill per resume)", res.PEBusy, want)
+	}
+}
+
+// leakyConsumer completes compute blocks but skips returning their
+// SRAM blocks — emulating an allocator leak the checker must notice
+// when the event-stream occupancy disagrees with the buffer.
+type leakyConsumer struct{ spoof spoofResidency }
+
+func (leakyConsumer) Name() string { return "leaky-consumer" }
+
+func (l leakyConsumer) PickMB(v *View) (MBRef, bool) { return l.spoof.PickMB(v) }
+func (l leakyConsumer) PickCB(v *View) (CBRef, bool) { return l.spoof.PickCB(v) }
+func (leakyConsumer) OnMBDone(*View, MBRef)          {}
+func (leakyConsumer) OnCBStart(*View, CBRef)         {}
+func (leakyConsumer) OnCBSplit(*View, CBRef, arch.Cycles) {}
+
+func (leakyConsumer) OnCBDone(v *View, r CBRef) {
+	// The sabotage: re-allocate the block the engine just freed into a
+	// foreign chain, leaking it from the checker's point of view.
+	s := v.nets[r.Net]
+	_ = v.buf.Allocate(&s.chains[r.Layer], 1)
+}
+
+func TestInvariantCatchesSRAMLeak(t *testing.T) {
+	cfg := testConfig(t)
+	cn := chainNet("n", cfg, layerSpec{mb: 10, cb: 5, iters: 3, blocks: 1})
+	_, err := Run(cfg, []*compiler.CompiledNetwork{cn}, leakyConsumer{}, Options{CheckInvariants: true})
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("err = %v, want ErrInvariant (allocator occupancy disagrees with events)", err)
+	}
+}
+
+// TestCheckerUnits exercises checker transitions the engine cannot
+// currently produce, so regressions in future engine refactors are
+// still caught.
+func TestCheckerUnits(t *testing.T) {
+	cfg := testConfig(t)
+	cn := chainNet("n", cfg, layerSpec{mb: 10, cb: 5, iters: 2, blocks: 1})
+	mkChecker := func() *checker {
+		v := &View{cfg: cfg, buf: sram.NewBuffer(cfg.WeightBlocks())}
+		v.nets = append(v.nets, newNetState(cn))
+		return newChecker(v)
+	}
+
+	t.Run("time-backwards", func(t *testing.T) {
+		c := mkChecker()
+		if err := c.advance(10); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.advance(5); !errors.Is(err, ErrInvariant) {
+			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+
+	t.Run("two-MBs-at-once", func(t *testing.T) {
+		c := mkChecker()
+		if err := c.mbIssue(MBRef{}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbIssue(MBRef{Iter: 1}, 1); !errors.Is(err, ErrInvariant) {
+			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+
+	t.Run("two-CBs-at-once", func(t *testing.T) {
+		c := mkChecker()
+		c.hostIn(0)
+		if err := c.mbIssue(MBRef{}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbDone(MBRef{}, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.cbStart(CBRef{}, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.cbStart(CBRef{}, 5); !errors.Is(err, ErrInvariant) {
+			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+
+	t.Run("overlapping-fetch-intervals", func(t *testing.T) {
+		c := mkChecker()
+		if err := c.mbIssue(MBRef{}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbDone(MBRef{}, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbIssue(MBRef{Iter: 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbDone(MBRef{Iter: 1}, 8, 18); !errors.Is(err, ErrInvariant) {
+			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+
+	t.Run("SRAM-over-capacity", func(t *testing.T) {
+		c := mkChecker()
+		if err := c.mbIssue(MBRef{}, cfg.WeightBlocks()+1); !errors.Is(err, ErrInvariant) {
+			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+
+	t.Run("CB-before-host-input", func(t *testing.T) {
+		c := mkChecker()
+		if err := c.mbIssue(MBRef{}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbDone(MBRef{}, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.cbStart(CBRef{}, 5); !errors.Is(err, ErrInvariant) {
+			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package aimt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestSweepParallelismDeterminism is the sweep engine's contract at
+// the experiment level: a serial run and a -parallel 8 run of the same
+// driver produce byte-identical aggregated output. Run under
+// `go test -race` (the Makefile check target does) this also proves
+// the fan-out is data-race free.
+func TestSweepParallelismDeterminism(t *testing.T) {
+	cfg := PaperConfig()
+	defer SetSweepParallelism(0)
+
+	SetSweepParallelism(1)
+	serialRows, err := Fig8Data(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serialOut bytes.Buffer
+	if err := PrintFig8(&serialOut, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	SetSweepParallelism(8)
+	parallelRows, err := Fig8Data(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parallelOut bytes.Buffer
+	if err := PrintFig8(&parallelOut, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		t.Errorf("Fig8Data rows differ between serial and parallel runs:\nserial:   %+v\nparallel: %+v",
+			serialRows, parallelRows)
+	}
+	if !bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()) {
+		t.Errorf("PrintFig8 output not byte-identical:\n--- serial\n%s--- parallel\n%s",
+			serialOut.String(), parallelOut.String())
+	}
+}
+
+// TestServingDeterminism covers the arrival-driven path (shared
+// Arrivals slice across concurrent jobs) the same way.
+func TestServingDeterminism(t *testing.T) {
+	cfg := PaperConfig()
+	defer SetSweepParallelism(0)
+	SetSweepParallelism(1)
+	serial, err := ServingData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetSweepParallelism(8)
+	parallel, err := ServingData(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serving points differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
