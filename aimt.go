@@ -22,11 +22,14 @@
 package aimt
 
 import (
+	"io"
+
 	"aimt/internal/arch"
 	"aimt/internal/compiler"
 	"aimt/internal/core"
 	"aimt/internal/nn"
 	"aimt/internal/sched"
+	"aimt/internal/serve"
 	"aimt/internal/sim"
 	"aimt/internal/sweep"
 	"aimt/internal/workload"
@@ -210,4 +213,81 @@ func PaperMixes() []MixSpec { return workload.PaperMixes() }
 // given batch size.
 func BuildMix(cfg Config, spec MixSpec, batch int) (*Mix, error) {
 	return workload.Build(cfg, spec, workload.BuildOptions{Batch: batch})
+}
+
+// NewEDF returns the earliest-deadline-first serving scheduler:
+// deadline-ordered block issue on both engines layered on
+// capacity-bounded MB prefetching. deadlines[i] is network instance
+// i's absolute deadline in cycles (nil/short = none).
+func NewEDF(deadlines []Cycles) Scheduler { return sched.NewEDF(deadlines) }
+
+// Serving subsystem (extension): open-loop streams, SLA tracking and
+// load sweeps; see the internal/serve package.
+
+// ServeClass is one request population of a serving mix; see
+// serve.Class.
+type ServeClass = serve.Class
+
+// ServeStream is a generated open-loop request stream; see
+// serve.Stream.
+type ServeStream = serve.Stream
+
+// ServeStreamOptions tunes stream generation; see serve.StreamOptions.
+type ServeStreamOptions = serve.StreamOptions
+
+// ServeReport summarizes one scheduler's run over a stream with
+// streaming (bounded-memory) latency quantiles; see serve.Report.
+type ServeReport = serve.Report
+
+// ServeCurvePoint is one offered-load point of a load sweep; see
+// serve.CurvePoint.
+type ServeCurvePoint = serve.CurvePoint
+
+// ServeCurveOptions tunes a load sweep; see serve.CurveOptions.
+type ServeCurveOptions = serve.CurveOptions
+
+// SchedulerSpec names a serving scheduler and builds fresh instances
+// per run; see serve.SchedulerSpec.
+type SchedulerSpec = serve.SchedulerSpec
+
+// DefaultServingClasses returns the default mixed CNN/RNN serving mix.
+func DefaultServingClasses() []ServeClass { return serve.DefaultClasses() }
+
+// NewServeStream generates a reproducible open-loop request stream
+// with weighted class picks, Poisson or bursty arrivals, and
+// per-request deadlines.
+func NewServeStream(cfg Config, classes []ServeClass, opts ServeStreamOptions) (*ServeStream, error) {
+	return serve.NewStream(cfg, classes, opts)
+}
+
+// ServeStandardSchedulers returns the serving comparison set: FIFO,
+// PREMA, AI-MT and EDF.
+func ServeStandardSchedulers() []SchedulerSpec { return serve.StandardSchedulers() }
+
+// ServeRun simulates one stream under one scheduler and reports SLA
+// attainment and tail latency.
+func ServeRun(cfg Config, s *ServeStream, sch Scheduler, opts RunOptions) (*ServeReport, error) {
+	return serve.Serve(cfg, s, sch, opts)
+}
+
+// ServeLoadCurve sweeps offered load from light traffic to saturation,
+// running every scheduler on identical request sequences, and returns
+// a latency-vs-throughput curve per scheduler.
+func ServeLoadCurve(cfg Config, classes []ServeClass, schedulers []SchedulerSpec, opts ServeCurveOptions) ([]ServeCurvePoint, error) {
+	return serve.LoadCurve(cfg, classes, schedulers, opts)
+}
+
+// ServeProcess selects a stream's arrival process; see serve.Process.
+type ServeProcess = serve.Process
+
+// Arrival processes for ServeStreamOptions.Process.
+const (
+	ServePoisson = serve.Poisson
+	ServeBursty  = serve.Bursty
+)
+
+// PrintServeCurve renders a load sweep as one table per offered-load
+// point.
+func PrintServeCurve(w io.Writer, points []ServeCurvePoint) error {
+	return serve.PrintCurve(w, points)
 }

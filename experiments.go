@@ -11,6 +11,7 @@ import (
 	"aimt/internal/metrics"
 	"aimt/internal/nn"
 	"aimt/internal/power"
+	"aimt/internal/serve"
 	"aimt/internal/sweep"
 	"aimt/internal/workload"
 )
@@ -450,7 +451,8 @@ type ServingPoint struct {
 	Scheduler string
 	// Makespan is the cycle the last request completed.
 	Makespan Cycles
-	// P50 and P99 are request-latency percentiles (finish - arrival).
+	// P50 and P99 are request-latency percentiles (finish - arrival),
+	// estimated by the streaming histogram (<=1/64 relative error).
 	P50, P99 Cycles
 	// PEUtil is the PE busy fraction over the run.
 	PEUtil float64
@@ -458,7 +460,8 @@ type ServingPoint struct {
 
 // ServingData runs a reproducible open-loop request stream (mixed
 // CNN/RNN requests, exponential inter-arrival) under FIFO, PREMA and
-// AI-MT, reporting tail latency and throughput.
+// AI-MT, reporting tail latency and throughput. Latencies stream into
+// a bounded-memory histogram rather than a per-request slice.
 func ServingData(cfg Config) ([]ServingPoint, error) {
 	stream, err := workload.OpenLoop(cfg,
 		[]string{"RN34", "RN50", "MN", "GNMT"},
@@ -485,12 +488,15 @@ func ServingData(cfg Config) ([]ServingPoint, error) {
 	}
 	var out []ServingPoint
 	for _, o := range outs {
-		lat := metrics.Latencies(o.Res)
+		var h metrics.Histogram
+		for _, lat := range metrics.Latencies(o.Res) {
+			h.Record(lat)
+		}
 		out = append(out, ServingPoint{
 			Scheduler: o.Scheduler,
 			Makespan:  o.Res.Makespan,
-			P50:       metrics.Percentile(lat, 50),
-			P99:       metrics.Percentile(lat, 99),
+			P50:       h.Quantile(50),
+			P99:       h.Quantile(99),
 			PEUtil:    o.Res.PEUtilization(),
 		})
 	}
@@ -509,6 +515,31 @@ func PrintServing(w io.Writer, cfg Config) error {
 	}
 	_, err = fmt.Fprintf(w, "Serving (extension): open-loop mixed request stream, 24 requests\n%s", t)
 	return err
+}
+
+// LoadCurveData sweeps offered load over the default mixed CNN/RNN
+// serving stream (Poisson arrivals, per-request deadlines) under
+// FIFO, PREMA, AI-MT and EDF, from light traffic to past saturation.
+// The request count is kept modest so the experiment regenerates
+// quickly; see cmd/aimt-serve for production-scale sweeps.
+func LoadCurveData(cfg Config) ([]ServeCurvePoint, error) {
+	return ServeLoadCurve(cfg, DefaultServingClasses(), ServeStandardSchedulers(),
+		ServeCurveOptions{
+			Stream:  ServeStreamOptions{Requests: 300, Seed: 7},
+			Workers: SweepParallelism(),
+		})
+}
+
+// PrintLoadCurve renders the serving load sweep.
+func PrintLoadCurve(w io.Writer, cfg Config) error {
+	points, err := LoadCurveData(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Load curve (extension): mixed CNN/RNN serving, 300 requests per point\n"); err != nil {
+		return err
+	}
+	return serve.PrintCurve(w, points)
 }
 
 // SpatialData returns, per zoo network, the mean spatial MAC
@@ -642,6 +673,7 @@ func Experiments() []Experiment {
 		{ID: "fig16", Title: "SRAM-capacity sensitivity", Run: PrintFig16},
 		{ID: "table3", Title: "Power and area overheads", Run: PrintTable3},
 		{ID: "serving", Title: "Open-loop serving latency (extension)", Run: PrintServing},
+		{ID: "loadcurve", Title: "Serving load sweep with SLA tracking (extension)", Run: PrintLoadCurve},
 		{ID: "spatial", Title: "Spatial PE utilization headroom (extension)", Run: PrintSpatial},
 	}
 }

@@ -1,0 +1,146 @@
+package aimt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Native fuzz targets. `go test` always replays the seed corpus under
+// testdata/fuzz/; `go test -fuzz FuzzCompile` (or FuzzStream) explores
+// from there. Both targets accept arbitrary inputs: invalid shapes
+// must surface as builder/compiler errors, never panics, and every
+// accepted input must produce a consistent compile or an
+// invariant-clean simulation.
+
+// fuzzNetwork decodes a byte string into a layer chain: each byte
+// appends one layer, its value selecting the type and size. Decoding
+// is total — any byte sequence yields a construction attempt.
+func fuzzNetwork(name string, inC, inH, inW uint8, spec []byte) (*Network, error) {
+	b := NewNetwork(name, int(inC%8)+1, int(inH%32)+1, int(inW%32)+1)
+	if len(spec) > 16 {
+		spec = spec[:16]
+	}
+	for i, op := range spec {
+		switch op % 5 {
+		case 0:
+			b.Conv(fmt.Sprintf("c%d", i), int(op/5)%8+1, 3, 1, 1)
+		case 1:
+			b.DWConv(fmt.Sprintf("d%d", i), 3, 1, 1)
+		case 2:
+			b.Pool(fmt.Sprintf("p%d", i), 2, 2, 0)
+		case 3:
+			b.FC(fmt.Sprintf("f%d", i), int(op/5)%32+1)
+		case 4:
+			b.GlobalPool(fmt.Sprintf("g%d", i))
+		}
+	}
+	return b.Build()
+}
+
+// FuzzCompile drives random layer shapes through the network builder
+// and the compiler: any input either errors cleanly or compiles to a
+// valid table with positive iteration counts and non-negative block
+// cycles.
+func FuzzCompile(f *testing.F) {
+	f.Add(uint8(3), uint8(32), uint8(32), uint8(1), []byte{0, 2, 3})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(2), []byte{3, 3})
+	f.Add(uint8(4), uint8(16), uint8(16), uint8(1), []byte{1, 4, 18})
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), []byte{})
+	f.Fuzz(func(t *testing.T, inC, inH, inW, batch uint8, spec []byte) {
+		net, err := fuzzNetwork("fuzz", inC, inH, inW, spec)
+		if err != nil {
+			return // invalid shape rejected by the builder: fine
+		}
+		cfg := Config{
+			PEDim:        4,
+			NumArrays:    4,
+			FreqHz:       1_000_000_000,
+			MemBandwidth: 1_000_000_000,
+			WeightSRAM:   64 * 16,
+			IOSRAM:       1 << 20,
+			WeightBytes:  1,
+			FillLatency:  2,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fixed config invalid: %v", err)
+		}
+		cn, err := Compile(net, cfg, int(batch%4)+1)
+		if err != nil {
+			return // compiler rejection: fine
+		}
+		if err := cn.Validate(); err != nil {
+			t.Fatalf("compiled table fails its own validation: %v", err)
+		}
+		for _, l := range cn.Layers {
+			if l.Iters <= 0 {
+				t.Fatalf("layer %s: non-positive Iters %d", l.Name, l.Iters)
+			}
+			if l.MBCycles < 0 || l.CBCycles < 0 {
+				t.Fatalf("layer %s: negative block cycles mb=%d cb=%d", l.Name, l.MBCycles, l.CBCycles)
+			}
+			if l.MBBlocks < 0 || l.MBBytes < 0 {
+				t.Fatalf("layer %s: negative footprint blocks=%d bytes=%d", l.Name, l.MBBlocks, l.MBBytes)
+			}
+		}
+		s := cn.Stats()
+		if s.SubLayers <= 0 || s.MBCycles < 0 || s.CBCycles < 0 || s.WeightBytes < 0 {
+			t.Fatalf("negative or empty stats: %+v", s)
+		}
+	})
+}
+
+// FuzzStream drives random arrival streams through every scheduler
+// with the machine-model invariant checker on: arbitrary request
+// sequences, gaps, and deadlines must keep the invariants green and
+// finish every network after its arrival.
+func FuzzStream(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, uint8(0))
+	f.Add([]byte{5, 5, 5, 5}, uint8(7))
+	f.Add([]byte{255, 0, 128, 64, 32}, uint8(11))
+	f.Add([]byte{9}, uint8(12))
+	f.Fuzz(func(t *testing.T, picks []byte, schedPick uint8) {
+		if len(picks) == 0 {
+			return
+		}
+		if len(picks) > 10 {
+			picks = picks[:10]
+		}
+		cfg := scenarioConfig(t, 8)
+		protos := []*Compiled{
+			block("comp", cfg, 2, 9, 3, 1),
+			block("mem", cfg, 9, 2, 3, 2),
+			block("mix", cfg, 5, 5, 2, 1),
+		}
+		var nets []*Compiled
+		var arrivals, deadlines []Cycles
+		var at Cycles
+		for _, b := range picks {
+			nets = append(nets, protos[int(b)%len(protos)])
+			at += Cycles(b) * 7
+			arrivals = append(arrivals, at)
+			deadlines = append(deadlines, at+Cycles(b%5)*100+1)
+		}
+		policies := allPolicies(cfg, len(nets))
+		policies = append(policies,
+			struct {
+				name string
+				mk   func() Scheduler
+			}{"EDF(fuzz)", func() Scheduler { return NewEDF(deadlines) }})
+		p := policies[int(schedPick)%len(policies)]
+		res, err := Run(cfg, nets, p.mk(), RunOptions{
+			CheckInvariants: true,
+			Arrivals:        arrivals,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		for i, fin := range res.NetFinish {
+			if fin <= arrivals[i] {
+				t.Fatalf("%s: net %d finished at %d, arrival %d", p.name, i, fin, arrivals[i])
+			}
+		}
+		if res.MBCount <= 0 || res.CBCount <= 0 {
+			t.Fatalf("%s: empty execution: %d MBs %d CBs", p.name, res.MBCount, res.CBCount)
+		}
+	})
+}

@@ -89,6 +89,13 @@ type AIMT struct {
 	credits    []float64
 	lastAccrue arch.Cycles
 
+	// deadlines, when set, replaces the uniform rotation with
+	// earliest-deadline-first ordering (serving SLAs): candidate
+	// scanning starts from the network with the nearest absolute
+	// deadline, while prefetching, merging and eviction keep working
+	// unchanged — deadline priority costs no overlap.
+	deadlines []arch.Cycles
+
 	// reserving notes that a capacity-critical memory block is blocked
 	// on SRAM space and the scheduler is holding capacity for it:
 	// non-critical blocks stop issuing and the smallest compute blocks
@@ -192,6 +199,27 @@ func (a *AIMT) SetPriorities(weights []float64) *AIMT {
 	a.weights = weights
 	a.credits = nil
 	return a
+}
+
+// SetDeadlines enables earliest-deadline-first tenant ordering on top
+// of the active mechanisms: deadlines[i] is network instance i's
+// absolute deadline in cycles (missing or non-positive entries mean no
+// deadline and sort last). Unlike a standalone EDF policy, merging and
+// eviction continue to steer which blocks overlap — only the tie-break
+// between networks changes. It returns the scheduler for chaining.
+func (a *AIMT) SetDeadlines(deadlines []arch.Cycles) *AIMT {
+	a.deadlines = deadlines
+	if deadlines != nil {
+		a.name += "+EDF"
+	}
+	return a
+}
+
+func (a *AIMT) deadline(net int) arch.Cycles {
+	if net < len(a.deadlines) && a.deadlines[net] > 0 {
+		return a.deadlines[net]
+	}
+	return arch.Cycles(1)<<62 - 1
 }
 
 func (a *AIMT) weight(net int) float64 {
@@ -332,6 +360,16 @@ func (a *AIMT) PickMB(v *sim.View) (sim.MBRef, bool) {
 // networks need.
 func (a *AIMT) rotateMBs(v *sim.View) {
 	if len(a.mbs) < 2 {
+		return
+	}
+	if a.deadlines != nil {
+		sort.SliceStable(a.mbs, func(i, j int) bool {
+			hi, hj := !v.HostInputDone(a.mbs[i].Net), !v.HostInputDone(a.mbs[j].Net)
+			if hi != hj {
+				return hj // arrived inputs first
+			}
+			return a.deadline(a.mbs[i].Net) < a.deadline(a.mbs[j].Net)
+		})
 		return
 	}
 	if a.weights != nil {
@@ -494,6 +532,14 @@ func (a *AIMT) PickCB(v *sim.View) (sim.CBRef, bool) {
 	if a.underPressure(v) {
 		for _, c := range a.cbs {
 			if !found || v.CBCycles(c) < v.CBCycles(pick) {
+				pick, found = c, true
+			}
+		}
+		return pick, true
+	}
+	if a.deadlines != nil {
+		for _, c := range a.cbs {
+			if !found || a.deadline(c.Net) < a.deadline(pick.Net) {
 				pick, found = c, true
 			}
 		}

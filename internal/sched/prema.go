@@ -56,7 +56,9 @@ func (p *PREMA) rate(net int) float64 {
 	return 1
 }
 
-// accrue advances waiting networks' tokens to the current cycle.
+// accrue advances waiting networks' tokens to the current cycle. Only
+// arrived, unfinished networks accumulate: a request that has not
+// reached the accelerator yet is not waiting for service.
 func (p *PREMA) accrue(v *sim.View) {
 	if p.tokens == nil {
 		p.tokens = make([]float64, v.NumNets())
@@ -66,8 +68,8 @@ func (p *PREMA) accrue(v *sim.View) {
 	if dt <= 0 {
 		return
 	}
-	for i := range p.tokens {
-		if i != p.active && !v.NetFinished(i) {
+	for _, i := range v.ActiveNets() {
+		if i != p.active {
 			p.tokens[i] += dt * p.rate(i)
 		}
 	}
@@ -77,10 +79,7 @@ func (p *PREMA) accrue(v *sim.View) {
 func (p *PREMA) elect(v *sim.View) {
 	p.accrue(v)
 	best, bestTok := -1, -1.0
-	for i := 0; i < v.NumNets(); i++ {
-		if v.NetFinished(i) {
-			continue
-		}
+	for _, i := range v.ActiveNets() {
 		if p.tokens[i] > bestTok {
 			best, bestTok = i, p.tokens[i]
 		}

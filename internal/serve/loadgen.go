@@ -1,0 +1,271 @@
+// Package serve is the streaming serving subsystem: open-loop request
+// generation (Poisson and bursty arrivals over a weighted model mix,
+// with per-request deadlines), SLA-tracking reports built on the
+// streaming quantile estimator, and a load-sweep driver that walks
+// offered load from light traffic to saturation and emits a
+// latency-vs-throughput curve per scheduler.
+//
+// Memory stays bounded in the stream length: a report holds an
+// O(buckets) metrics.Histogram plus a handful of counters, never the
+// per-request latency slice, so sweeps of hundreds of thousands of
+// requests are routine.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aimt/internal/arch"
+	"aimt/internal/compiler"
+	"aimt/internal/nn"
+)
+
+// Class is one request population in a serving mix: a model, how often
+// it is requested, and how tight its latency SLA is.
+type Class struct {
+	// Name labels the class in reports; empty means the network name.
+	Name string
+
+	// Net is the model served for this class.
+	Net *nn.Network
+
+	// Weight is the class's relative request frequency; zero or
+	// negative means 1.
+	Weight float64
+
+	// Slack scales the class's deadline: a request arriving at cycle t
+	// must finish by t + Slack x (isolated service estimate). Zero or
+	// negative means DefaultSlack.
+	Slack float64
+
+	// Batch is the per-request batch size; zero means 1.
+	Batch int
+}
+
+// DefaultSlack is the deadline multiplier applied to a class's
+// isolated service estimate when the class does not set its own.
+const DefaultSlack = 8
+
+// DefaultClasses returns the default mixed CNN/RNN serving mix: a
+// small convolutional vision model (three requests out of four, tight
+// SLA) alongside a stacked fully connected recurrent-style model (one
+// in four, memory-intensive, looser SLA). The models are deliberately
+// small so saturation sweeps of tens of thousands of requests finish
+// in seconds.
+func DefaultClasses() []Class {
+	cnn := nn.NewBuilder("serve-cnn", 3, 32, 32)
+	cnn.Conv("conv1", 32, 3, 1, 1)
+	cnn.Pool("pool1", 2, 2, 0)
+	cnn.Conv("conv2", 64, 3, 1, 1)
+	cnn.GlobalPool("gap")
+	cnn.FC("fc", 10)
+
+	rnn := nn.NewBuilder("serve-rnn", 256, 1, 1)
+	rnn.FC("cell1", 512)
+	rnn.FC("cell2", 512)
+	rnn.FC("proj", 256)
+
+	return []Class{
+		{Name: "cnn", Net: cnn.MustBuild(), Weight: 3, Slack: 6},
+		{Name: "rnn", Net: rnn.MustBuild(), Weight: 1, Slack: 10},
+	}
+}
+
+// Process selects the arrival process of a stream.
+type Process int
+
+const (
+	// Poisson draws independent exponential inter-arrival gaps.
+	Poisson Process = iota
+
+	// Bursty emits geometric back-to-back bursts separated by long
+	// exponential silences, with the same mean rate as Poisson at the
+	// same MeanGap.
+	Bursty
+)
+
+func (p Process) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("process(%d)", int(p))
+}
+
+// StreamOptions tune NewStream.
+type StreamOptions struct {
+	// Requests is the stream length; zero means 1024.
+	Requests int
+
+	// Process is the arrival process; the zero value is Poisson.
+	Process Process
+
+	// MeanGap is the mean inter-arrival time in cycles; zero means
+	// 20000 (20 us at 1 GHz). Offered load scales inversely with it.
+	MeanGap arch.Cycles
+
+	// BurstLen is the mean burst size for the Bursty process; zero
+	// means 8. Ignored under Poisson.
+	BurstLen int
+
+	// Seed makes the stream reproducible. Streams built from the same
+	// classes and seed contain the same request sequence at every
+	// MeanGap — only the gaps scale — so load-curve points are
+	// directly comparable.
+	Seed int64
+}
+
+// compiledClass is a Class lowered to the target config.
+type compiledClass struct {
+	name    string
+	net     *compiler.CompiledNetwork
+	slack   float64
+	service arch.Cycles // isolated service estimate
+}
+
+// Stream is a generated open-loop request stream ready to simulate:
+// per-request compiled networks, arrival cycles, and absolute
+// deadlines, indexed alike.
+type Stream struct {
+	// Name labels the stream.
+	Name string
+
+	// Nets holds each request's compiled network in arrival order.
+	Nets []*compiler.CompiledNetwork
+
+	// Arrivals gives each request's arrival cycle (non-decreasing).
+	Arrivals []arch.Cycles
+
+	// Deadlines gives each request's absolute deadline:
+	// arrival + slack x isolated service estimate of its class.
+	Deadlines []arch.Cycles
+
+	// ClassOf gives each request's index into Classes.
+	ClassOf []int
+
+	// Classes names the request classes, in Class order.
+	Classes []string
+
+	// MeanService is the weight-averaged isolated service estimate of
+	// one request, the numerator of offered load.
+	MeanService float64
+
+	// MeanGap echoes the generating option after defaulting.
+	MeanGap arch.Cycles
+}
+
+// OfferedLoad returns the stream's nominal utilization demand: the
+// mean per-request service estimate over the mean inter-arrival gap.
+// Values past ~1 mean the bottleneck engine cannot keep up and queues
+// grow without bound — saturation.
+func (s *Stream) OfferedLoad() float64 {
+	if s.MeanGap <= 0 {
+		return 0
+	}
+	return s.MeanService / float64(s.MeanGap)
+}
+
+// serviceEstimate approximates a request's isolated latency: the
+// occupancy of the bottleneck engine plus host feature movement. It
+// only anchors deadlines, so a coarse estimate is fine.
+func serviceEstimate(cfg arch.Config, cn *compiler.CompiledNetwork) arch.Cycles {
+	s := cn.Stats()
+	est := s.CBCycles
+	if s.MBCycles > est {
+		est = s.MBCycles
+	}
+	return est + cfg.HostCycles(cn.HostInBytes) + cfg.HostCycles(cn.HostOutBytes)
+}
+
+// NewStream compiles the classes for cfg and draws a reproducible
+// open-loop request stream: weighted class picks, arrival gaps from
+// the chosen process, and per-request deadlines.
+func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("serve: empty class list")
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 1024
+	}
+	if opts.MeanGap <= 0 {
+		opts.MeanGap = 20000
+	}
+	if opts.BurstLen <= 0 {
+		opts.BurstLen = 8
+	}
+
+	compiled := make([]compiledClass, 0, len(classes))
+	var weights []float64
+	var totalW, meanService float64
+	for i, c := range classes {
+		if c.Net == nil {
+			return nil, fmt.Errorf("serve: class %d has no network", i)
+		}
+		batch := c.Batch
+		if batch <= 0 {
+			batch = 1
+		}
+		cn, err := compiler.Compile(c.Net, cfg, batch)
+		if err != nil {
+			return nil, fmt.Errorf("serve: class %q: %w", c.Net.Name, err)
+		}
+		cc := compiledClass{name: c.Name, net: cn, slack: c.Slack}
+		if cc.name == "" {
+			cc.name = c.Net.Name
+		}
+		if cc.slack <= 0 {
+			cc.slack = DefaultSlack
+		}
+		cc.service = serviceEstimate(cfg, cn)
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		compiled = append(compiled, cc)
+		weights = append(weights, w)
+		totalW += w
+		meanService += w * float64(cc.service)
+	}
+	meanService /= totalW
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := &Stream{
+		Name:        fmt.Sprintf("%s-load%.2f", opts.Process, meanService/float64(opts.MeanGap)),
+		MeanService: meanService,
+		MeanGap:     opts.MeanGap,
+	}
+	for _, cc := range compiled {
+		s.Classes = append(s.Classes, cc.name)
+	}
+
+	var t arch.Cycles
+	for i := 0; i < opts.Requests; i++ {
+		// Weighted class pick.
+		pick := rng.Float64() * totalW
+		ci := 0
+		for ci < len(weights)-1 && pick >= weights[ci] {
+			pick -= weights[ci]
+			ci++
+		}
+		cc := compiled[ci]
+		s.Nets = append(s.Nets, cc.net)
+		s.Arrivals = append(s.Arrivals, t)
+		s.Deadlines = append(s.Deadlines, t+arch.Cycles(cc.slack*float64(cc.service)))
+		s.ClassOf = append(s.ClassOf, ci)
+
+		// Next gap. Both processes have mean MeanGap so offered load is
+		// process-independent; Bursty concentrates it into geometric
+		// back-to-back trains separated by long silences.
+		switch opts.Process {
+		case Bursty:
+			if rng.Float64() < 1/float64(opts.BurstLen) {
+				t += arch.Cycles(rng.ExpFloat64() * float64(opts.MeanGap) * float64(opts.BurstLen))
+			}
+		default:
+			t += arch.Cycles(rng.ExpFloat64() * float64(opts.MeanGap))
+		}
+	}
+	return s, nil
+}

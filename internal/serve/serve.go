@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"aimt/internal/arch"
+	"aimt/internal/core"
+	"aimt/internal/metrics"
+	"aimt/internal/sched"
+	"aimt/internal/sim"
+	"aimt/internal/sweep"
+)
+
+// ClassStats aggregates one request class's outcomes within a report.
+type ClassStats struct {
+	// Class is the class name.
+	Class string
+	// Requests is the number of requests of this class in the stream.
+	Requests int
+	// Misses is how many finished after their deadline.
+	Misses int
+	// P99 is the class's 99th-percentile latency.
+	P99 arch.Cycles
+}
+
+// Report summarizes one scheduler's run over a stream. It is built by
+// streaming over the result once — per-request latencies live only in
+// the histogram, so its size is O(buckets), not O(requests).
+type Report struct {
+	// Scheduler is the policy name.
+	Scheduler string
+
+	// Requests is the stream length.
+	Requests int
+
+	// Makespan is the cycle the last request completed.
+	Makespan arch.Cycles
+
+	// Throughput is completed requests per million cycles.
+	Throughput float64
+
+	// Latency is the streaming latency distribution; query it for
+	// quantiles beyond the pre-extracted ones below.
+	Latency metrics.Histogram
+
+	// P50, P95, P99 and P999 are request-latency quantiles.
+	P50, P95, P99, P999 arch.Cycles
+
+	// Misses counts requests that finished after their deadline;
+	// MissRate is Misses over Requests.
+	Misses   int
+	MissRate float64
+
+	// PEUtil and MemUtil are engine busy fractions over the makespan.
+	PEUtil, MemUtil float64
+
+	// PerClass breaks requests and misses down by request class.
+	PerClass []ClassStats
+}
+
+// Attainment returns the SLA attainment: the fraction of requests that
+// met their deadline.
+func (r *Report) Attainment() float64 { return 1 - r.MissRate }
+
+// buildReport folds a simulation result into a Report without
+// materializing a latency slice.
+func buildReport(s *Stream, res *sim.Result) *Report {
+	r := &Report{
+		Scheduler: res.Scheduler,
+		Requests:  len(s.Nets),
+		Makespan:  res.Makespan,
+		PEUtil:    res.PEUtilization(),
+		MemUtil:   res.MemUtilization(),
+	}
+	perClass := make([]ClassStats, len(s.Classes))
+	classHist := make([]metrics.Histogram, len(s.Classes))
+	for i := range perClass {
+		perClass[i].Class = s.Classes[i]
+	}
+	for i := range s.Nets {
+		if i >= len(res.NetFinish) || i >= len(res.NetArrive) {
+			break
+		}
+		lat := res.NetFinish[i] - res.NetArrive[i]
+		r.Latency.Record(lat)
+		ci := s.ClassOf[i]
+		perClass[ci].Requests++
+		classHist[ci].Record(lat)
+		if res.NetFinish[i] > s.Deadlines[i] {
+			r.Misses++
+			perClass[ci].Misses++
+		}
+	}
+	for i := range perClass {
+		perClass[i].P99 = classHist[i].Quantile(99)
+	}
+	r.PerClass = perClass
+	r.P50 = r.Latency.Quantile(50)
+	r.P95 = r.Latency.Quantile(95)
+	r.P99 = r.Latency.Quantile(99)
+	r.P999 = r.Latency.Quantile(99.9)
+	if n := r.Latency.Count(); n > 0 {
+		r.MissRate = float64(r.Misses) / float64(n)
+	}
+	if r.Makespan > 0 {
+		r.Throughput = float64(r.Latency.Count()) / float64(r.Makespan) * 1e6
+	}
+	return r
+}
+
+// Serve runs one stream under one scheduler and reports SLA
+// attainment and tail latency. opts.Arrivals is overwritten with the
+// stream's arrival times.
+func Serve(cfg arch.Config, s *Stream, sch sim.Scheduler, opts sim.Options) (*Report, error) {
+	opts.Arrivals = s.Arrivals
+	res, err := sim.Run(cfg, s.Nets, sch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(s, res), nil
+}
+
+// SchedulerSpec names a scheduler and builds a fresh instance per run.
+// The factory receives the stream so deadline-aware policies can read
+// its deadlines.
+type SchedulerSpec struct {
+	// Name labels the scheduler in curves and reports.
+	Name string
+	// New constructs a fresh scheduler for one run over the stream.
+	New func(cfg arch.Config, s *Stream) sim.Scheduler
+}
+
+// StandardSchedulers returns the serving comparison set: FIFO and
+// PREMA baselines, the full AI-MT mechanism stack, and deadline-aware
+// EDF.
+func StandardSchedulers() []SchedulerSpec {
+	return []SchedulerSpec{
+		{Name: "FIFO", New: func(arch.Config, *Stream) sim.Scheduler { return sched.NewFIFO() }},
+		{Name: "PREMA", New: func(arch.Config, *Stream) sim.Scheduler { return sched.NewPREMA(nil) }},
+		{Name: "AI-MT", New: func(cfg arch.Config, _ *Stream) sim.Scheduler { return core.New(cfg, core.All()) }},
+		{Name: "EDF", New: func(_ arch.Config, s *Stream) sim.Scheduler { return sched.NewEDF(s.Deadlines) }},
+	}
+}
+
+// CurvePoint is one offered-load point of a load sweep: the same
+// request sequence at one inter-arrival scale, under every scheduler.
+type CurvePoint struct {
+	// MeanGap is the mean inter-arrival time at this point.
+	MeanGap arch.Cycles
+
+	// OfferedLoad is mean service estimate / MeanGap; >~1 means the
+	// bottleneck engine is oversubscribed.
+	OfferedLoad float64
+
+	// Reports holds one report per scheduler, in scheduler order.
+	Reports []*Report
+}
+
+// CurveOptions tune LoadCurve.
+type CurveOptions struct {
+	// Stream is the per-point stream shape; its MeanGap field is
+	// ignored in favor of Gaps.
+	Stream StreamOptions
+
+	// Gaps lists the mean inter-arrival times to sweep, typically
+	// descending (load ascending); empty means DefaultGaps applied to
+	// the mix's mean service estimate.
+	Gaps []arch.Cycles
+
+	// Workers caps sweep parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+
+	// CheckInvariants turns the machine-model invariant checker on for
+	// every run.
+	CheckInvariants bool
+}
+
+// DefaultGapFactors are the offered loads walked when CurveOptions
+// does not list explicit gaps: from light traffic to past saturation.
+var DefaultGapFactors = []float64{0.2, 0.5, 0.8, 1.1, 1.5}
+
+// LoadCurve sweeps offered load over the given gaps, running every
+// scheduler on an identical request sequence at each point (same seed;
+// only the arrival gaps scale), and returns one CurvePoint per gap in
+// ascending-load (descending-gap) order as listed.
+func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opts CurveOptions) ([]CurvePoint, error) {
+	if len(schedulers) == 0 {
+		schedulers = StandardSchedulers()
+	}
+	gaps := opts.Gaps
+	if len(gaps) == 0 {
+		// Probe the mix's mean service estimate with a one-request
+		// stream, then place gaps at the default load factors.
+		probeOpts := opts.Stream
+		probeOpts.Requests = 1
+		probeOpts.MeanGap = 1
+		probe, err := NewStream(cfg, classes, probeOpts)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range DefaultGapFactors {
+			g := arch.Cycles(probe.MeanService / f)
+			if g < 1 {
+				g = 1
+			}
+			gaps = append(gaps, g)
+		}
+	}
+
+	streams := make([]*Stream, len(gaps))
+	var jobs []sweep.Job
+	for gi, gap := range gaps {
+		sopts := opts.Stream
+		sopts.MeanGap = gap
+		s, err := NewStream(cfg, classes, sopts)
+		if err != nil {
+			return nil, err
+		}
+		streams[gi] = s
+		for _, spec := range schedulers {
+			spec := spec
+			s := s
+			jobs = append(jobs, sweep.Job{
+				Mix:       s.Name,
+				Scheduler: spec.Name,
+				Cfg:       cfg,
+				Nets:      s.Nets,
+				New:       func() sim.Scheduler { return spec.New(cfg, s) },
+				Opts:      sim.Options{Arrivals: s.Arrivals},
+			})
+		}
+	}
+	outs := sweep.Run(jobs, sweep.Options{Workers: opts.Workers, CheckInvariants: opts.CheckInvariants})
+	if err := sweep.FirstError(outs); err != nil {
+		return nil, err
+	}
+
+	points := make([]CurvePoint, len(gaps))
+	for gi, gap := range gaps {
+		points[gi] = CurvePoint{MeanGap: gap, OfferedLoad: streams[gi].OfferedLoad()}
+	}
+	for _, o := range outs {
+		gi := o.Index / len(schedulers)
+		rep := buildReport(streams[gi], o.Res)
+		rep.Scheduler = o.Scheduler
+		points[gi].Reports = append(points[gi].Reports, rep)
+	}
+	return points, nil
+}
+
+// PrintCurve renders a load sweep as one table per offered-load point.
+func PrintCurve(w io.Writer, points []CurvePoint) error {
+	for _, pt := range points {
+		t := metrics.NewTable("scheduler", "p50", "p99", "p99.9", "miss rate", "req/Mcyc", "PE util")
+		for _, r := range pt.Reports {
+			t.AddRow(r.Scheduler,
+				fmt.Sprint(r.P50), fmt.Sprint(r.P99), fmt.Sprint(r.P999),
+				metrics.Pct(r.MissRate), metrics.F(r.Throughput), metrics.Pct(r.PEUtil))
+		}
+		if _, err := fmt.Fprintf(w, "offered load %.2f (mean gap %d)\n%s\n", pt.OfferedLoad, pt.MeanGap, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

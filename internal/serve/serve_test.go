@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"aimt/internal/arch"
+	"aimt/internal/sched"
+	"aimt/internal/sim"
+)
+
+func testConfig(t testing.TB) arch.Config {
+	t.Helper()
+	cfg := arch.PaperConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestStreamReproducible: identical options yield identical streams,
+// and changing only MeanGap preserves the request/class sequence while
+// scaling the gaps — the property that makes load-curve points
+// comparable.
+func TestStreamReproducible(t *testing.T) {
+	cfg := testConfig(t)
+	opts := StreamOptions{Requests: 200, MeanGap: 10_000, Seed: 42}
+	a, err := NewStream(cfg, DefaultClasses(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(cfg, DefaultClasses(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nets {
+		if a.ClassOf[i] != b.ClassOf[i] || a.Arrivals[i] != b.Arrivals[i] || a.Deadlines[i] != b.Deadlines[i] {
+			t.Fatalf("request %d differs between identically seeded streams", i)
+		}
+	}
+
+	opts.MeanGap = 40_000
+	c, err := NewStream(cfg, DefaultClasses(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nets {
+		if a.ClassOf[i] != c.ClassOf[i] {
+			t.Fatalf("request %d: class changed with MeanGap (%d vs %d)", i, a.ClassOf[i], c.ClassOf[i])
+		}
+	}
+	// 4x the gap means 4x the arrival time, up to per-gap truncation.
+	last := len(a.Arrivals) - 1
+	if c.Arrivals[last] < 3*a.Arrivals[last] {
+		t.Errorf("4x MeanGap stretched span only from %d to %d", a.Arrivals[last], c.Arrivals[last])
+	}
+	if got := a.OfferedLoad(); got <= 0 {
+		t.Errorf("OfferedLoad = %v, want positive", got)
+	}
+	if a.OfferedLoad() < 3.9*c.OfferedLoad() {
+		t.Errorf("load did not scale with rate: %v vs %v", a.OfferedLoad(), c.OfferedLoad())
+	}
+}
+
+// TestStreamShape: arrivals are non-decreasing, deadlines sit strictly
+// after arrivals, and the weighted mix is respected on average.
+func TestStreamShape(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := NewStream(cfg, DefaultClasses(), StreamOptions{Requests: 2000, MeanGap: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(s.Classes))
+	for i := range s.Nets {
+		if i > 0 && s.Arrivals[i] < s.Arrivals[i-1] {
+			t.Fatalf("arrivals decrease at %d", i)
+		}
+		if s.Deadlines[i] <= s.Arrivals[i] {
+			t.Fatalf("request %d: deadline %d not after arrival %d", i, s.Deadlines[i], s.Arrivals[i])
+		}
+		counts[s.ClassOf[i]]++
+	}
+	// cnn:rnn weights are 3:1; allow generous sampling noise.
+	frac := float64(counts[0]) / float64(len(s.Nets))
+	if frac < 0.65 || frac > 0.85 {
+		t.Errorf("cnn fraction %.2f, want ~0.75", frac)
+	}
+}
+
+// TestBurstyKeepsMeanRate: the bursty process must offer the same mean
+// load as Poisson at the same MeanGap, just less evenly.
+func TestBurstyKeepsMeanRate(t *testing.T) {
+	cfg := testConfig(t)
+	base := StreamOptions{Requests: 5000, MeanGap: 10_000, Seed: 9}
+	pois, err := NewStream(cfg, DefaultClasses(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := base
+	burst.Process = Bursty
+	b, err := NewStream(cfg, DefaultClasses(), burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSpan := float64(pois.Arrivals[len(pois.Arrivals)-1])
+	bSpan := float64(b.Arrivals[len(b.Arrivals)-1])
+	if ratio := bSpan / pSpan; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("bursty span is %.2fx the Poisson span, want ~1x", ratio)
+	}
+	// Bursts mean many back-to-back arrivals (zero gaps).
+	zero := 0
+	for i := 1; i < len(b.Arrivals); i++ {
+		if b.Arrivals[i] == b.Arrivals[i-1] {
+			zero++
+		}
+	}
+	if zero < len(b.Arrivals)/2 {
+		t.Errorf("only %d/%d zero gaps — arrivals are not bursty", zero, len(b.Arrivals))
+	}
+}
+
+// TestServeReportConsistency: a served report's counters must agree
+// with each other and with the stream, with invariants checked.
+func TestServeReportConsistency(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := NewStream(cfg, DefaultClasses(), StreamOptions{Requests: 64, MeanGap: 30_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Serve(cfg, s, sched.NewFIFO(), sim.Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 64 || rep.Latency.Count() != 64 {
+		t.Fatalf("requests %d, recorded %d, want 64", rep.Requests, rep.Latency.Count())
+	}
+	if rep.MissRate < 0 || rep.MissRate > 1 {
+		t.Errorf("miss rate %v out of range", rep.MissRate)
+	}
+	if rep.Attainment() != 1-rep.MissRate {
+		t.Errorf("attainment %v != 1 - miss rate %v", rep.Attainment(), rep.MissRate)
+	}
+	var reqs, misses int
+	for _, c := range rep.PerClass {
+		reqs += c.Requests
+		misses += c.Misses
+	}
+	if reqs != rep.Requests || misses != rep.Misses {
+		t.Errorf("per-class sums (%d req, %d miss) disagree with totals (%d, %d)",
+			reqs, misses, rep.Requests, rep.Misses)
+	}
+	if rep.P50 > rep.P99 || rep.P99 > rep.P999 {
+		t.Errorf("quantiles not monotone: p50 %d p99 %d p99.9 %d", rep.P50, rep.P99, rep.P999)
+	}
+	if rep.Makespan <= 0 || rep.Throughput <= 0 {
+		t.Errorf("degenerate makespan %d / throughput %v", rep.Makespan, rep.Throughput)
+	}
+}
+
+// TestLoadCurveAcceptance is the issue's acceptance sweep: >= 10,000
+// requests of the default mixed CNN/RNN stream through FIFO, PREMA,
+// AI-MT and EDF at a light and a saturated load point. Memory stays
+// bounded (reports hold histograms, never latency slices), every
+// point reports tail quantiles and miss rates, and EDF's deadline-miss
+// rate beats FIFO's at saturation.
+func TestLoadCurveAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-request saturation sweep")
+	}
+	cfg := testConfig(t)
+	probe, err := NewStream(cfg, DefaultClasses(), StreamOptions{Requests: 1, MeanGap: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := arch.Cycles(probe.MeanService / 0.4)
+	saturated := arch.Cycles(probe.MeanService / 1.3)
+	points, err := LoadCurve(cfg, DefaultClasses(), StandardSchedulers(), CurveOptions{
+		Stream: StreamOptions{Requests: 10_000, Seed: 3},
+		Gaps:   []arch.Cycles{light, saturated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	byName := func(pt CurvePoint, name string) *Report {
+		for _, r := range pt.Reports {
+			if r.Scheduler == name {
+				return r
+			}
+		}
+		t.Fatalf("no %s report at load %.2f", name, pt.OfferedLoad)
+		return nil
+	}
+	for _, pt := range points {
+		if len(pt.Reports) != 4 {
+			t.Fatalf("load %.2f: %d reports, want 4", pt.OfferedLoad, len(pt.Reports))
+		}
+		for _, r := range pt.Reports {
+			if r.Latency.Count() != 10_000 {
+				t.Errorf("load %.2f %s: recorded %d latencies, want 10000", pt.OfferedLoad, r.Scheduler, r.Latency.Count())
+			}
+			if r.P50 <= 0 || r.P999 < r.P99 || r.P99 < r.P50 {
+				t.Errorf("load %.2f %s: bad quantiles p50=%d p99=%d p99.9=%d",
+					pt.OfferedLoad, r.Scheduler, r.P50, r.P99, r.P999)
+			}
+		}
+	}
+	sat := points[1]
+	fifo, edf := byName(sat, "FIFO"), byName(sat, "EDF")
+	if fifo.MissRate <= 0 {
+		t.Fatalf("saturation point is not saturated: FIFO miss rate %v", fifo.MissRate)
+	}
+	if edf.MissRate >= fifo.MissRate {
+		t.Errorf("EDF miss rate %.3f does not beat FIFO's %.3f at saturation", edf.MissRate, fifo.MissRate)
+	}
+	var sb strings.Builder
+	if err := PrintCurve(&sb, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "EDF") || !strings.Contains(sb.String(), "miss rate") {
+		t.Errorf("PrintCurve output missing expected columns:\n%s", sb.String())
+	}
+	t.Logf("saturation: FIFO miss %.3f p99 %d | EDF miss %.3f p99 %d",
+		fifo.MissRate, fifo.P99, edf.MissRate, edf.P99)
+}
+
+// TestLoadCurveDefaults: with no explicit gaps or schedulers the curve
+// walks DefaultGapFactors with the standard scheduler set.
+func TestLoadCurveDefaults(t *testing.T) {
+	cfg := testConfig(t)
+	points, err := LoadCurve(cfg, DefaultClasses(), nil, CurveOptions{
+		Stream:          StreamOptions{Requests: 50, Seed: 2},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DefaultGapFactors) {
+		t.Fatalf("got %d points, want %d", len(points), len(DefaultGapFactors))
+	}
+	for i, pt := range points {
+		if len(pt.Reports) != len(StandardSchedulers()) {
+			t.Fatalf("point %d has %d reports", i, len(pt.Reports))
+		}
+		if i > 0 && pt.OfferedLoad <= points[i-1].OfferedLoad {
+			t.Errorf("offered load not increasing: %v then %v", points[i-1].OfferedLoad, pt.OfferedLoad)
+		}
+	}
+}

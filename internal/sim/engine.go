@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"aimt/internal/arch"
 	"aimt/internal/compiler"
@@ -121,6 +122,13 @@ type engine struct {
 	hostEnd  arch.Cycles
 	curHost  hostXfer
 
+	// arrivalOrder lists the indices of late-arriving nets sorted by
+	// (arrival, index); nextArrival points at the first not yet
+	// arrived. The loop consults only this pointer instead of scanning
+	// every instance per event — essential for long serving streams.
+	arrivalOrder []int
+	nextArrival  int
+
 	// chk, when non-nil, validates machine-model invariants at every
 	// event (Options.CheckInvariants).
 	chk *checker
@@ -172,13 +180,25 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 		}
 	}
 
+	for _, cn := range nets {
+		for _, l := range cn.Layers {
+			v.mbRemaining += l.Iters
+		}
+	}
+
 	// Networks arriving at cycle zero start their host input transfer
 	// immediately; late arrivals do so when they arrive.
 	for i := range nets {
 		if v.nets[i].arrived {
+			v.activeAdd(i)
 			e.arrive(i)
+		} else {
+			e.arrivalOrder = append(e.arrivalOrder, i)
 		}
 	}
+	sort.SliceStable(e.arrivalOrder, func(a, b int) bool {
+		return v.nets[e.arrivalOrder[a]].arrival < v.nets[e.arrivalOrder[b]].arrival
+	})
 
 	if err := e.loop(); err != nil {
 		return nil, err
@@ -210,10 +230,8 @@ func (e *engine) loop() error {
 		consider(v.memBusy, v.memEnd)
 		consider(v.peBusy, v.peEnd)
 		consider(e.hostBusy, e.hostEnd)
-		for _, s := range v.nets {
-			if !s.arrived {
-				consider(true, s.arrival)
-			}
+		if e.nextArrival < len(e.arrivalOrder) {
+			consider(true, v.nets[e.arrivalOrder[e.nextArrival]].arrival)
 		}
 
 		if next < 0 {
@@ -245,11 +263,15 @@ func (e *engine) loop() error {
 		if e.hostBusy && e.hostEnd == v.now {
 			e.completeHost()
 		}
-		for i, s := range v.nets {
-			if !s.arrived && s.arrival <= v.now {
-				s.arrived = true
-				e.arrive(i)
+		for e.nextArrival < len(e.arrivalOrder) {
+			i := e.arrivalOrder[e.nextArrival]
+			if v.nets[i].arrival > v.now {
+				break
 			}
+			e.nextArrival++
+			v.nets[i].arrived = true
+			v.activeAdd(i)
+			e.arrive(i)
 		}
 	}
 }
@@ -323,6 +345,8 @@ func (e *engine) issueMB(r MBRef) error {
 		e.res.SRAMPeakBlocks = used
 	}
 	s.mbIssued[r.Layer]++
+	v.outstanding++
+	v.mbRemaining--
 	v.memBusy = true
 	v.curMB = r
 	v.memEnd = v.now + e.opts.SchedulerLatency + l.MBCycles
@@ -401,6 +425,7 @@ func (e *engine) completeCB() error {
 	}
 	s.remnant[r.Layer] = 0
 	s.cbDone[r.Layer]++
+	v.outstanding--
 	if s.cbDone[r.Layer] == l.Iters {
 		for _, p := range l.Posts {
 			s.cbIndeg[p]--
@@ -486,6 +511,7 @@ func (e *engine) finishNet(net int) {
 	s := e.v.nets[net]
 	s.finished = true
 	s.finishAt = e.v.now
+	e.v.activeRemove(net)
 	e.res.NetFinish[net] = e.v.now
 }
 

@@ -142,6 +142,19 @@ type View struct {
 	nets []*netState
 	buf  *sram.Buffer
 
+	// active holds the indices of arrived, unfinished networks in
+	// ascending order — the only nets candidate scans must visit. With
+	// open-loop serving streams of many thousands of requests, scanning
+	// every instance per pick would make the engine quadratic in the
+	// stream length; the active list keeps each scan proportional to
+	// the in-flight population.
+	active []int
+
+	// outstanding is the incremental Σ(mbIssued - cbDone) over all
+	// nets; mbRemaining counts memory blocks not yet issued anywhere.
+	outstanding int
+	mbRemaining int
+
 	now arch.Cycles
 
 	// HBM channel occupancy.
@@ -167,6 +180,35 @@ func (v *View) Config() arch.Config { return v.cfg }
 
 // NumNets returns the number of co-located network instances.
 func (v *View) NumNets() int { return len(v.nets) }
+
+// ActiveNets returns the indices of arrived, unfinished networks in
+// ascending order. The slice is the engine's own index — callers must
+// treat it as read-only and must not retain it across events.
+func (v *View) ActiveNets() []int { return v.active }
+
+// NetArrived reports whether network instance net has arrived.
+func (v *View) NetArrived(net int) bool { return v.nets[net].arrived }
+
+// activeAdd inserts net into the sorted active list.
+func (v *View) activeAdd(net int) {
+	i := len(v.active)
+	for i > 0 && v.active[i-1] > net {
+		i--
+	}
+	v.active = append(v.active, 0)
+	copy(v.active[i+1:], v.active[i:])
+	v.active[i] = net
+}
+
+// activeRemove deletes net from the active list.
+func (v *View) activeRemove(net int) {
+	for i, n := range v.active {
+		if n == net {
+			v.active = append(v.active[:i], v.active[i+1:]...)
+			return
+		}
+	}
+}
 
 // NumLayers returns the layer count of network instance net.
 func (v *View) NumLayers(net int) int { return len(v.nets[net].cn.Layers) }
@@ -256,10 +298,8 @@ func (v *View) IsCBExecutable(r CBRef) bool {
 // memory block is unlocked (dependency-free), in (net, layer) order.
 // Capacity is not checked — use IsMBIssuable or MBBlocks.
 func (v *View) MBCandidates(out []MBRef) []MBRef {
-	for ni, s := range v.nets {
-		if !s.arrived {
-			continue
-		}
+	for _, ni := range v.active {
+		s := v.nets[ni]
 		for li := range s.cn.Layers {
 			if s.mbIndeg[li] == 0 && s.mbIssued[li] < s.cn.Layers[li].Iters {
 				out = append(out, MBRef{Net: ni, Layer: li, Iter: s.mbIssued[li]})
@@ -273,10 +313,8 @@ func (v *View) MBCandidates(out []MBRef) []MBRef {
 // compute block is executable right now (weights resident, chain
 // unlocked), in (net, layer) order.
 func (v *View) ReadyCBs(out []CBRef) []CBRef {
-	for ni, s := range v.nets {
-		if !s.arrived {
-			continue
-		}
+	for _, ni := range v.active {
+		s := v.nets[ni]
 		for li := range s.cn.Layers {
 			r := CBRef{Net: ni, Layer: li, Iter: s.cbDone[li]}
 			if s.cbSelected[li] == s.cbDone[li] && v.IsCBExecutable(r) {
@@ -294,10 +332,8 @@ func (v *View) ReadyCBs(out []CBRef) []CBRef {
 // overlap an in-flight fetch. Several consecutive iterations of one
 // layer may appear.
 func (v *View) SelectableCBs(out []CBRef) []CBRef {
-	for ni, s := range v.nets {
-		if !s.arrived {
-			continue
-		}
+	for _, ni := range v.active {
+		s := v.nets[ni]
 		for li := range s.cn.Layers {
 			if s.cbIndeg[li] != 0 {
 				continue
@@ -316,10 +352,8 @@ func (v *View) SelectableCBs(out []CBRef) []CBRef {
 // AVL_CB, computed exactly from machine state.
 func (v *View) AvailableCBCycles() arch.Cycles {
 	var sum arch.Cycles
-	for _, s := range v.nets {
-		if !s.arrived {
-			continue
-		}
+	for _, ni := range v.active {
+		s := v.nets[ni]
 		for li, l := range s.cn.Layers {
 			if s.cbIndeg[li] != 0 {
 				continue
@@ -376,29 +410,13 @@ func (v *View) FetchingMB() (MBRef, arch.Cycles, bool) {
 
 // OutstandingMBs returns the number of memory blocks issued whose
 // compute blocks have not completed — the quantity a double-buffering
-// baseline bounds at two.
-func (v *View) OutstandingMBs() int {
-	n := 0
-	for _, s := range v.nets {
-		for li := range s.cn.Layers {
-			n += s.mbIssued[li] - s.cbDone[li]
-		}
-	}
-	return n
-}
+// baseline bounds at two. Maintained incrementally by the engine.
+func (v *View) OutstandingMBs() int { return v.outstanding }
 
 // HasMBWork reports whether any memory block remains to be issued
-// (whether or not currently unlocked or fitting in SRAM).
-func (v *View) HasMBWork() bool {
-	for _, s := range v.nets {
-		for li, l := range s.cn.Layers {
-			if s.mbIssued[li] < l.Iters {
-				return true
-			}
-		}
-	}
-	return false
-}
+// (whether or not currently unlocked or fitting in SRAM). Maintained
+// incrementally by the engine.
+func (v *View) HasMBWork() bool { return v.mbRemaining > 0 }
 
 // RequestSplit halts the executing compute block (the paper's CB
 // split): the executed portion is kept, the remainder returns to

@@ -547,6 +547,10 @@ func TestViewAccessors(t *testing.T) {
 	v := &View{cfg: cfg, buf: sram.NewBuffer(cfg.WeightBlocks()), nets: []*netState{newNetState(cn)}}
 	v.nets[0].hostInDone = true
 	v.nets[0].cbIndeg[0] = 0
+	// The engine maintains the active list and the incremental
+	// outstanding/remaining counters; a hand-built View must seed them.
+	v.activeAdd(0)
+	v.mbRemaining = 3
 
 	if v.NumNets() != 1 || v.NumLayers(0) != 2 {
 		t.Fatalf("dims wrong")
@@ -564,9 +568,12 @@ func TestViewAccessors(t *testing.T) {
 	if got := v.AvailableCBCycles(); got != 0 {
 		t.Fatalf("available CB cycles = %d before any fetch", got)
 	}
-	// Simulate a completed fetch.
+	// Simulate a completed fetch, adjusting the engine-maintained
+	// counters the way issueMB would.
 	v.nets[0].mbIssued[0] = 1
 	v.nets[0].mbDone[0] = 1
+	v.outstanding++
+	v.mbRemaining--
 	if got := v.AvailableCBCycles(); got != 20 {
 		t.Fatalf("available CB cycles = %d, want 20", got)
 	}

@@ -69,7 +69,22 @@ func allPolicies(cfg Config, nets int) []struct {
 		{"AI-MT(PF)", func() Scheduler { return NewAIMT(cfg, PrefetchOnly()) }},
 		{"AI-MT(PF+Merge)", func() Scheduler { return NewAIMT(cfg, PrefetchMerge()) }},
 		{"AI-MT(All)", func() Scheduler { return NewAIMT(cfg, AllMechanisms()) }},
+		{"EDF", func() Scheduler { return NewEDF(propertyDeadlines(nets)) }},
+		{"AI-MT+EDF", func() Scheduler {
+			return NewAIMT(cfg, AllMechanisms()).SetDeadlines(propertyDeadlines(nets))
+		}},
 	}
+}
+
+// propertyDeadlines fabricates distinct per-network deadlines (latest
+// first, so deadline order inverts instance order) to exercise the
+// deadline-aware policies' reordering.
+func propertyDeadlines(nets int) []Cycles {
+	dl := make([]Cycles, nets)
+	for i := range dl {
+		dl[i] = Cycles(nets-i) * 100_000
+	}
+	return dl
 }
 
 func TestPropertyPoliciesAgreeOnWork(t *testing.T) {
