@@ -4,7 +4,11 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench golden
+# Throughput-critical benchmarks that gate CI (see cmd/aimt-benchjson
+# and testdata/bench_baseline.json).
+BENCH_PATTERN ?= BenchmarkSimulatorThroughput|BenchmarkServeStream|BenchmarkCandidateScan
+
+.PHONY: check build test race vet bench benchall benchcheck profile golden
 
 check: vet build race
 
@@ -20,8 +24,27 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Run the engine-throughput benchmarks and write BENCH_3.json
+# (blocks/sec, ns/op, allocs/op per benchmark).
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/sim | tee bench.txt
+	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out BENCH_3.json
+
+# Gate against the checked-in baseline; fails only on gross (2×)
+# ns/op regressions so runner-to-runner variance doesn't flake CI.
+benchcheck: bench
+	$(GO) run ./cmd/aimt-benchjson -in bench.txt -compare testdata/bench_baseline.json
+
+# Every benchmark in the repo, including the paper-figure sweeps.
+benchall:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Profile a production-scale serving sweep; inspect with
+#   go tool pprof -top cpu.pprof
+profile:
+	$(GO) run ./cmd/aimt-serve -requests 20000 -loads 0.9 -sched AI-MT -parallel 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles written: cpu.pprof mem.pprof (go tool pprof -top cpu.pprof)"
 
 # Regenerate the golden paper-figure outputs under testdata/ after an
 # intentional change to an experiment.

@@ -511,6 +511,32 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(blocks), "blocks/op")
 }
 
+// BenchmarkServeStream measures serving-path engine speed: a
+// 10k-request open-loop stream near saturation under the full AI-MT
+// stack — the workload whose event count makes candidate-scan cost the
+// binding constraint (see the frontier tracking in internal/sim).
+func BenchmarkServeStream(b *testing.B) {
+	cfg := PaperConfig()
+	stream, err := NewServeStream(cfg, DefaultServingClasses(), ServeStreamOptions{
+		Requests: 10_000,
+		Seed:     7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blocks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, stream.Nets, NewAIMT(cfg, AllMechanisms()),
+			RunOptions{Arrivals: stream.Arrivals})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = res.MBCount + res.CBCount
+	}
+	b.ReportMetric(float64(blocks), "blocks/op")
+}
+
 // BenchmarkCompile measures sub-layer table generation for the
 // largest network.
 func BenchmarkCompile(b *testing.B) {

@@ -1,0 +1,200 @@
+// Command aimt-benchjson converts `go test -bench` output into a
+// machine-readable JSON report and gates CI on throughput regressions.
+//
+//	go test -run '^$' -bench Throughput -benchmem ./... | aimt-benchjson -out BENCH_3.json
+//	aimt-benchjson -in bench.txt -compare testdata/bench_baseline.json -threshold 2
+//
+// In -compare mode the exit status is non-zero if any baseline
+// benchmark is missing from the input or its ns/op exceeds
+// threshold × baseline — a deliberately generous gate that only trips
+// on gross regressions (CI runners vary; small drift is expected).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. BlocksPerSec is derived from
+// the blocks/op metric the simulator benchmarks report, giving the
+// headline engine-throughput number directly.
+type Benchmark struct {
+	Pkg          string             `json:"pkg"`
+	Name         string             `json:"name"`
+	Iterations   int64              `json:"iterations"`
+	NsPerOp      float64            `json:"ns_per_op"`
+	BytesPerOp   float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  float64            `json:"allocs_per_op,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	BlocksPerSec float64            `json:"blocks_per_sec,omitempty"`
+}
+
+// Report is the BENCH_3.json schema (also the baseline schema).
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func (b Benchmark) key() string { return b.Pkg + "." + b.Name }
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Pkg:        pkg,
+			Name:       procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		if blocks, ok := b.Metrics["blocks/op"]; ok && b.NsPerOp > 0 {
+			b.BlocksPerSec = blocks / (b.NsPerOp * 1e-9)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return rep, nil
+}
+
+func compare(cur, base *Report, threshold float64) error {
+	got := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		got[b.key()] = b
+	}
+	var failures []string
+	for _, want := range base.Benchmarks {
+		b, ok := got[want.key()]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from benchmark run", want.key()))
+			continue
+		}
+		if want.NsPerOp > 0 && b.NsPerOp > threshold*want.NsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds %.1f× baseline %.0f ns/op",
+				want.key(), b.NsPerOp, threshold, want.NsPerOp))
+			continue
+		}
+		fmt.Printf("ok  %-50s %12.0f ns/op (baseline %.0f, limit %.1f×)\n",
+			want.key(), b.NsPerOp, want.NsPerOp, threshold)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (empty = stdin)")
+		out       = flag.String("out", "", "write parsed JSON report to this file (empty = stdout unless -compare)")
+		baseline  = flag.String("compare", "", "baseline JSON report to gate against")
+		threshold = flag.Float64("threshold", 2.0, "fail when ns/op exceeds threshold × baseline")
+	)
+	flag.Parse()
+
+	if err := run(*in, *out, *baseline, *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "aimt-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, baseline string, threshold float64) error {
+	src := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	switch {
+	case out != "":
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Benchmarks))
+	case baseline == "":
+		os.Stdout.Write(buf)
+	}
+
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("%s: %w", baseline, err)
+		}
+		return compare(rep, &base, threshold)
+	}
+	return nil
+}

@@ -12,9 +12,11 @@
 //	aimt-serve -loads 0.3,0.9,1.2      # explicit offered loads
 //	aimt-serve -process bursty         # bursty arrivals
 //	aimt-serve -sched FIFO,EDF         # subset of schedulers
+//	aimt-serve -cpuprofile cpu.pprof   # profile the sweep (pprof)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,37 +24,66 @@ import (
 	"strings"
 
 	"aimt"
+	"aimt/internal/profiling"
 )
+
+type options struct {
+	requests int
+	process  string
+	loads    string
+	scheds   string
+	seed     int64
+	parallel int
+	check    bool
+}
 
 func main() {
 	var (
-		requests = flag.Int("requests", 10_000, "requests per load point")
-		process  = flag.String("process", "poisson", "arrival process: poisson or bursty")
-		loads    = flag.String("loads", "", "comma-separated offered loads (empty = default sweep)")
-		scheds   = flag.String("sched", "", "comma-separated scheduler subset (empty = all)")
-		seed     = flag.Int64("seed", 7, "stream seed")
-		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		check    = flag.Bool("check", false, "run the machine-model invariant checker on every simulation")
+		opts       options
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
+	flag.IntVar(&opts.requests, "requests", 10_000, "requests per load point")
+	flag.StringVar(&opts.process, "process", "poisson", "arrival process: poisson or bursty")
+	flag.StringVar(&opts.loads, "loads", "", "comma-separated offered loads (empty = default sweep)")
+	flag.StringVar(&opts.scheds, "sched", "", "comma-separated scheduler subset (empty = all)")
+	flag.Int64Var(&opts.seed, "seed", 7, "stream seed")
+	flag.IntVar(&opts.parallel, "parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	flag.BoolVar(&opts.check, "check", false, "run the machine-model invariant checker on every simulation")
 	flag.Parse()
 
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aimt-serve: %v\n", err)
+		os.Exit(1)
+	}
+	runErr := run(opts)
+	if err := stop(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "aimt-serve: %v\n", runErr)
+		os.Exit(1)
+	}
+}
+
+func run(opts options) error {
 	cfg := aimt.PaperConfig()
 	classes := aimt.DefaultServingClasses()
 
-	sopts := aimt.ServeStreamOptions{Requests: *requests, Seed: *seed}
-	switch strings.ToLower(*process) {
+	sopts := aimt.ServeStreamOptions{Requests: opts.requests, Seed: opts.seed}
+	switch strings.ToLower(opts.process) {
 	case "", "poisson":
 	case "bursty":
 		sopts.Process = aimt.ServeBursty
 	default:
-		fmt.Fprintf(os.Stderr, "aimt-serve: unknown process %q\n", *process)
-		os.Exit(1)
+		return fmt.Errorf("unknown process %q", opts.process)
 	}
 
 	schedulers := aimt.ServeStandardSchedulers()
-	if *scheds != "" {
+	if opts.scheds != "" {
 		keep := map[string]bool{}
-		for _, n := range strings.Split(*scheds, ",") {
+		for _, n := range strings.Split(opts.scheds, ",") {
 			keep[strings.ToUpper(strings.TrimSpace(n))] = true
 		}
 		var sel []aimt.SchedulerSpec
@@ -62,28 +93,25 @@ func main() {
 			}
 		}
 		if len(sel) == 0 {
-			fmt.Fprintf(os.Stderr, "aimt-serve: no scheduler matches %q\n", *scheds)
-			os.Exit(1)
+			return fmt.Errorf("no scheduler matches %q", opts.scheds)
 		}
 		schedulers = sel
 	}
 
-	copts := aimt.ServeCurveOptions{Stream: sopts, Workers: *parallel, CheckInvariants: *check}
-	if *loads != "" {
+	copts := aimt.ServeCurveOptions{Stream: sopts, Workers: opts.parallel, CheckInvariants: opts.check}
+	if opts.loads != "" {
 		// Probe the mean service estimate to translate loads to gaps.
 		probeOpts := sopts
 		probeOpts.Requests = 1
 		probeOpts.MeanGap = 1
 		probe, err := aimt.NewServeStream(cfg, classes, probeOpts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aimt-serve: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		for _, f := range strings.Split(*loads, ",") {
+		for _, f := range strings.Split(opts.loads, ",") {
 			load, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil || load <= 0 {
-				fmt.Fprintf(os.Stderr, "aimt-serve: bad load %q\n", f)
-				os.Exit(1)
+				return errors.New("bad load " + strconv.Quote(f))
 			}
 			gap := aimt.Cycles(probe.MeanService / load)
 			if gap < 1 {
@@ -95,12 +123,8 @@ func main() {
 
 	points, err := aimt.ServeLoadCurve(cfg, classes, schedulers, copts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "aimt-serve: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("Serving load sweep: %d requests per point, %s arrivals\n\n", *requests, *process)
-	if err := aimt.PrintServeCurve(os.Stdout, points); err != nil {
-		fmt.Fprintf(os.Stderr, "aimt-serve: %v\n", err)
-		os.Exit(1)
-	}
+	fmt.Printf("Serving load sweep: %d requests per point, %s arrivals\n\n", opts.requests, opts.process)
+	return aimt.PrintServeCurve(os.Stdout, points)
 }

@@ -60,3 +60,55 @@ func TestDifferentialSerializedBound(t *testing.T) {
 		}
 	}
 }
+
+// TestFrontierDifferentialServeStream runs a random open-loop serving
+// stream under every scheduler with the machine-model invariant
+// checker enabled. Since PR 3 the checker's sixth invariant family
+// recomputes the candidate sets by brute force after every engine
+// event and compares them against the engine's incrementally
+// maintained frontiers, so a pass here proves frontier-based
+// MBCandidates/ReadyCBs/SelectableCBs/AvailableCBCycles equal the
+// full scans on every event of the stream, for every policy.
+func TestFrontierDifferentialServeStream(t *testing.T) {
+	cfg := PaperConfig()
+	classes := DefaultServingClasses()
+	for _, process := range []ServeProcess{ServePoisson, ServeBursty} {
+		stream, err := NewServeStream(cfg, classes, ServeStreamOptions{
+			Requests: 100,
+			Process:  process,
+			Seed:     11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedulers := ServeStandardSchedulers()
+		for _, extra := range []struct {
+			name string
+			mk   func() Scheduler
+		}{
+			{"SerialFIFO", NewSerialFIFO},
+			{"RR", NewRR},
+			{"Greedy", NewGreedy},
+			{"Greedy+PF", NewGreedyPrefetch},
+			{"SJF", NewSJF},
+			{"AI-MT(PF)", func() Scheduler { return NewAIMT(cfg, PrefetchOnly()) }},
+			{"AI-MT(PF+Merge)", func() Scheduler { return NewAIMT(cfg, PrefetchMerge()) }},
+		} {
+			mk := extra.mk
+			schedulers = append(schedulers, SchedulerSpec{
+				Name: extra.name,
+				New:  func(Config, *ServeStream) Scheduler { return mk() },
+			})
+		}
+		for _, spec := range schedulers {
+			rep, err := ServeRun(cfg, stream, spec.New(cfg, stream), RunOptions{CheckInvariants: true})
+			if err != nil {
+				t.Errorf("%s/%s: %v", process, spec.Name, err)
+				continue
+			}
+			if rep.Requests != len(stream.Nets) {
+				t.Errorf("%s/%s: report covers %d of %d requests", process, spec.Name, rep.Requests, len(stream.Nets))
+			}
+		}
+	}
+}

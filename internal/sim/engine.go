@@ -46,9 +46,11 @@ type Options struct {
 	// SRAM occupancy never exceeds capacity (and the allocator's chains
 	// stay consistent), no compute block starts before its memory
 	// blocks and predecessor layers complete, event time is monotonic,
-	// and split/resume conserves compute-block work. Violations abort
-	// the run with an error wrapping ErrInvariant. Slow; intended for
-	// tests and the sweep engine's verification mode.
+	// split/resume conserves compute-block work, and the incrementally
+	// maintained candidate frontiers match a brute-force rescan of
+	// every layer. Violations abort the run with an error wrapping
+	// ErrInvariant. Slow; intended for tests and the sweep engine's
+	// verification mode.
 	CheckInvariants bool
 }
 
@@ -117,7 +119,13 @@ type engine struct {
 	sch  Scheduler
 	opts Options
 
+	// hostQ is a FIFO popped at hostHead: popping by reslicing the
+	// front would pin the backing array (and every completed transfer
+	// record) for the whole run, which matters on long serving
+	// streams. The array is recycled whenever the queue drains, so
+	// its footprint is bounded by the maximum queue depth.
 	hostQ    []hostXfer
+	hostHead int
 	hostBusy bool
 	hostEnd  arch.Cycles
 	curHost  hostXfer
@@ -132,6 +140,11 @@ type engine struct {
 	// chk, when non-nil, validates machine-model invariants at every
 	// event (Options.CheckInvariants).
 	chk *checker
+
+	// mbScratch and cbScratch are reused by the deadlock-diagnosis
+	// path so it allocates nothing.
+	mbScratch []MBRef
+	cbScratch []CBRef
 
 	res Result
 }
@@ -184,6 +197,9 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 		for _, l := range cn.Layers {
 			v.mbRemaining += l.Iters
 		}
+		st := cn.Stats()
+		v.cbTotal += st.CBCycles
+		v.mbTotal += st.MBCycles
 	}
 
 	// Networks arriving at cycle zero start their host input transfer
@@ -191,7 +207,9 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 	for i := range nets {
 		if v.nets[i].arrived {
 			v.activeAdd(i)
-			e.arrive(i)
+			if err := e.arrive(i); err != nil {
+				return nil, err
+			}
 		} else {
 			e.arrivalOrder = append(e.arrivalOrder, i)
 		}
@@ -261,7 +279,9 @@ func (e *engine) loop() error {
 			}
 		}
 		if e.hostBusy && e.hostEnd == v.now {
-			e.completeHost()
+			if err := e.completeHost(); err != nil {
+				return err
+			}
 		}
 		for e.nextArrival < len(e.arrivalOrder) {
 			i := e.arrivalOrder[e.nextArrival]
@@ -271,20 +291,22 @@ func (e *engine) loop() error {
 			e.nextArrival++
 			v.nets[i].arrived = true
 			v.activeAdd(i)
-			e.arrive(i)
+			if err := e.arrive(i); err != nil {
+				return err
+			}
 		}
 	}
 }
 
 // arrive starts network net's host input transfer (or resolves it
 // immediately when the link is unconfigured or the input empty).
-func (e *engine) arrive(net int) {
+func (e *engine) arrive(net int) error {
 	c := e.v.cfg.HostCycles(e.v.nets[net].cn.HostInBytes)
 	if c == 0 {
-		e.finishHostIn(net)
-		return
+		return e.finishHostIn(net)
 	}
 	e.hostQ = append(e.hostQ, hostXfer{net: net, cycles: c})
+	return nil
 }
 
 // scheduleAll issues work onto idle engines until no further progress
@@ -320,9 +342,13 @@ func (e *engine) scheduleAll() error {
 			}
 		}
 
-		if !e.hostBusy && len(e.hostQ) > 0 {
-			e.curHost = e.hostQ[0]
-			e.hostQ = e.hostQ[1:]
+		if !e.hostBusy && e.hostHead < len(e.hostQ) {
+			e.curHost = e.hostQ[e.hostHead]
+			e.hostHead++
+			if e.hostHead == len(e.hostQ) {
+				e.hostQ = e.hostQ[:0]
+				e.hostHead = 0
+			}
 			e.hostBusy = true
 			e.hostEnd = v.now + e.curHost.cycles
 			progress = true
@@ -345,6 +371,9 @@ func (e *engine) issueMB(r MBRef) error {
 		e.res.SRAMPeakBlocks = used
 	}
 	s.mbIssued[r.Layer]++
+	if s.mbIssued[r.Layer] == l.Iters {
+		s.mbFront = frontRemove(s.mbFront, r.Layer)
+	}
 	v.outstanding++
 	v.mbRemaining--
 	v.memBusy = true
@@ -352,6 +381,9 @@ func (e *engine) issueMB(r MBRef) error {
 	v.memEnd = v.now + e.opts.SchedulerLatency + l.MBCycles
 	if e.chk != nil {
 		if err := e.chk.mbIssue(r, l.MBBlocks); err != nil {
+			return err
+		}
+		if err := e.chk.frontiers(); err != nil {
 			return err
 		}
 	}
@@ -375,9 +407,26 @@ func (e *engine) completeMB() error {
 	}
 
 	s.mbDone[r.Layer]++
+	if s.cbIndeg[r.Layer] == 0 {
+		// One more resident, unconsumed compute block on an unlocked
+		// layer: it joins the CB frontier (if the layer was drained)
+		// and the available-compute total.
+		if s.mbDone[r.Layer]-s.cbDone[r.Layer] == 1 {
+			s.cbFront = frontAdd(s.cbFront, r.Layer)
+		}
+		v.availCB += l.CBCycles
+	}
 	if s.mbDone[r.Layer] == l.Iters {
 		for _, p := range l.Posts {
 			s.mbIndeg[p]--
+			if s.mbIndeg[p] == 0 && s.mbIssued[p] < s.cn.Layers[p].Iters {
+				s.mbFront = frontAdd(s.mbFront, p)
+			}
+		}
+	}
+	if e.chk != nil {
+		if err := e.chk.frontiers(); err != nil {
+			return err
 		}
 	}
 	e.sch.OnMBDone(v, r)
@@ -398,6 +447,9 @@ func (e *engine) startCB(r CBRef) error {
 	v.peEnd = v.now + work
 	if e.chk != nil {
 		if err := e.chk.cbStart(r, work); err != nil {
+			return err
+		}
+		if err := e.chk.frontiers(); err != nil {
 			return err
 		}
 	}
@@ -423,16 +475,36 @@ func (e *engine) completeCB() error {
 			return err
 		}
 	}
+	// The consumed block leaves the available-compute total: a halted
+	// remainder counted remnant + refill, a fresh block its full
+	// cycles. (An executing block stays counted until it completes —
+	// the reference scan counts mbDone - cbDone.)
+	if rem := s.remnant[r.Layer]; rem > 0 {
+		v.availCB -= rem + v.cfg.FillLatency
+	} else {
+		v.availCB -= l.CBCycles
+	}
 	s.remnant[r.Layer] = 0
 	s.cbDone[r.Layer]++
+	if s.mbDone[r.Layer] == s.cbDone[r.Layer] {
+		s.cbFront = frontRemove(s.cbFront, r.Layer)
+	}
 	v.outstanding--
 	if s.cbDone[r.Layer] == l.Iters {
 		for _, p := range l.Posts {
 			s.cbIndeg[p]--
+			if s.cbIndeg[p] == 0 {
+				v.unlockCB(s, p)
+			}
 		}
 		s.layersLeft--
 		if s.layersLeft == 0 {
 			e.finishCompute(r.Net)
+		}
+	}
+	if e.chk != nil {
+		if err := e.chk.frontiers(); err != nil {
+			return err
 		}
 	}
 	e.sch.OnCBDone(v, r)
@@ -461,8 +533,22 @@ func (e *engine) applySplit() error {
 			return err
 		}
 	}
+	// The halted block's availability shrinks from what it counted at
+	// start (a full block, or a previous remnant + refill) to the new
+	// remainder + refill. Frontier membership is unchanged: the block
+	// returns to candidacy on a still-unlocked layer.
+	old := l.CBCycles
+	if s.remnant[r.Layer] > 0 {
+		old = s.remnant[r.Layer] + v.cfg.FillLatency
+	}
+	v.availCB += remaining + v.cfg.FillLatency - old
 	s.remnant[r.Layer] = remaining
 	s.cbSelected[r.Layer] = s.cbDone[r.Layer]
+	if e.chk != nil {
+		if err := e.chk.frontiers(); err != nil {
+			return err
+		}
+	}
 	e.sch.OnCBSplit(v, r, remaining)
 	return nil
 }
@@ -477,7 +563,7 @@ func (e *engine) finishCompute(net int) {
 	e.hostQ = append(e.hostQ, hostXfer{net: net, output: true, cycles: c})
 }
 
-func (e *engine) completeHost() {
+func (e *engine) completeHost() error {
 	v := e.v
 	x := e.curHost
 	e.hostBusy = false
@@ -489,22 +575,27 @@ func (e *engine) completeHost() {
 	e.trace("host", name, x.net, -1, -1, e.hostEnd-x.cycles, v.now)
 	if x.output {
 		e.finishNet(x.net)
-	} else {
-		e.finishHostIn(x.net)
+		return nil
 	}
+	return e.finishHostIn(x.net)
 }
 
-func (e *engine) finishHostIn(net int) {
+func (e *engine) finishHostIn(net int) error {
 	s := e.v.nets[net]
 	s.hostInDone = true
-	if e.chk != nil {
-		e.chk.hostIn(net)
-	}
 	for li, l := range s.cn.Layers {
 		if len(l.Deps) == 0 {
 			s.cbIndeg[li]--
+			if s.cbIndeg[li] == 0 {
+				e.v.unlockCB(s, li)
+			}
 		}
 	}
+	if e.chk != nil {
+		e.chk.hostIn(net)
+		return e.chk.frontiers()
+	}
+	return nil
 }
 
 func (e *engine) finishNet(net int) {
@@ -521,7 +612,7 @@ func (e *engine) allDone() bool {
 			return false
 		}
 	}
-	return len(e.hostQ) == 0 && !e.hostBusy
+	return e.hostHead == len(e.hostQ) && !e.hostBusy
 }
 
 func (e *engine) trace(engineName, name string, net, layer, iter int, start, end arch.Cycles) {
@@ -534,10 +625,8 @@ func (e *engine) trace(engineName, name string, net, layer, iter int, start, end
 // progress, for deadlock errors.
 func (e *engine) stuckDiagnosis() string {
 	v := e.v
-	var mbs []MBRef
-	mbs = v.MBCandidates(nil)
-	var cbs []CBRef
-	cbs = v.ReadyCBs(cbs)
+	e.mbScratch = v.MBCandidates(e.mbScratch[:0])
+	e.cbScratch = v.ReadyCBs(e.cbScratch[:0])
 	return fmt.Sprintf("free SRAM blocks %d/%d, %d MB candidates, %d ready CBs, host queue %d",
-		v.FreeBlocks(), v.TotalBlocks(), len(mbs), len(cbs), len(e.hostQ))
+		v.FreeBlocks(), v.TotalBlocks(), len(e.mbScratch), len(e.cbScratch), len(e.hostQ)-e.hostHead)
 }

@@ -29,7 +29,11 @@ var ErrInvariant = errors.New("sim: machine invariant violated")
 //  4. event time is monotonically non-decreasing;
 //  5. split/resume conserves compute-block work: the segments of a
 //     halted block sum to its full cycles plus one refill penalty per
-//     resume.
+//     resume;
+//  6. the incrementally maintained candidate frontiers agree with a
+//     brute-force rescan: MBCandidates, ReadyCBs, SelectableCBs and
+//     AvailableCBCycles equal the reference full-scan results after
+//     every state transition (see frontier.go).
 type checker struct {
 	v    *View
 	fill arch.Cycles
@@ -50,6 +54,10 @@ type checker struct {
 	nets []netShadow
 
 	mbCount, cbCount, splitCount int
+
+	// Scratch buffers for the frontier-vs-scan comparison (invariant 6).
+	mbGot, mbWant []MBRef
+	cbGot, cbWant []CBRef
 }
 
 // netShadow is the checker's independent progress record for one
@@ -245,6 +253,60 @@ func (c *checker) cbSplit(r CBRef, start, end, remaining arch.Cycles) error {
 	}
 	c.splitCount++
 	return nil
+}
+
+// frontiers checks invariant 6: the candidate sets the schedulers see
+// through the incrementally maintained frontiers must be identical —
+// element for element, in order — to a brute-force rescan of every
+// layer, and the incremental AVL_CB counter must equal the rescanned
+// total. The engine calls this after every state transition that can
+// move candidacy (MB issue, MB/CB completion, CB start, CB split,
+// host-input completion).
+func (c *checker) frontiers() error {
+	v := c.v
+	c.mbGot = v.MBCandidates(c.mbGot[:0])
+	c.mbWant = v.scanMBCandidates(c.mbWant[:0])
+	if !mbRefsEqual(c.mbGot, c.mbWant) {
+		return c.violate("MB frontier %v diverged from full scan %v", c.mbGot, c.mbWant)
+	}
+	c.cbGot = v.ReadyCBs(c.cbGot[:0])
+	c.cbWant = v.scanReadyCBs(c.cbWant[:0])
+	if !cbRefsEqual(c.cbGot, c.cbWant) {
+		return c.violate("ready-CB frontier %v diverged from full scan %v", c.cbGot, c.cbWant)
+	}
+	c.cbGot = v.SelectableCBs(c.cbGot[:0])
+	c.cbWant = v.scanSelectableCBs(c.cbWant[:0])
+	if !cbRefsEqual(c.cbGot, c.cbWant) {
+		return c.violate("selectable-CB frontier %v diverged from full scan %v", c.cbGot, c.cbWant)
+	}
+	if got, want := v.AvailableCBCycles(), v.scanAvailableCBCycles(); got != want {
+		return c.violate("incremental AVL_CB %d diverged from full scan %d", got, want)
+	}
+	return nil
+}
+
+func mbRefsEqual(a, b []MBRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cbRefsEqual(a, b []CBRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkSRAM verifies the allocator's free list and per-layer chains

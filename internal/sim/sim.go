@@ -98,6 +98,13 @@ type netState struct {
 	// refill penalty instead of its full CBCycles.
 	remnant []arch.Cycles
 
+	// mbFront and cbFront are the net's candidate frontiers: the
+	// ascending layer lists the candidate scans iterate instead of
+	// visiting every layer (see frontier.go for the membership
+	// conditions and the maintenance points).
+	mbFront []int
+	cbFront []int
+
 	chains []sram.Chain // resident weight blocks per layer
 
 	arrival    arch.Cycles
@@ -131,6 +138,11 @@ func newNetState(cn *compiler.CompiledNetwork) *netState {
 			// before computing (their weights may be fetched earlier).
 			s.cbIndeg[i] = 1
 		}
+		if s.mbIndeg[i] == 0 && l.Iters > 0 {
+			s.mbFront = append(s.mbFront, i)
+		}
+		// cbFront starts empty: no weights are resident before the
+		// first MB completes, and root CB chains wait on host input.
 	}
 	return s
 }
@@ -154,6 +166,17 @@ type View struct {
 	// nets; mbRemaining counts memory blocks not yet issued anywhere.
 	outstanding int
 	mbRemaining int
+
+	// availCB is the incrementally maintained AVL_CB total: resident,
+	// unconsumed compute work on unlocked layers, updated at every
+	// state transition that can move it (see frontier.go). Unarrived
+	// nets contribute zero by construction (no MB has completed), so
+	// the counter needs no arrival handling.
+	availCB arch.Cycles
+
+	// cbTotal and mbTotal cache MixTotals, which is static for a run
+	// but may be queried per pick by schedulers.
+	cbTotal, mbTotal arch.Cycles
 
 	now arch.Cycles
 
@@ -232,13 +255,9 @@ func (v *View) HostInputDone(net int) bool { return v.nets[net].hostInDone }
 // MixTotals returns the workload's total compute-block and
 // memory-block cycles — the static load balance schedulers may use to
 // adapt policy (a memory-bound mix must never idle the HBM channel).
+// The totals are computed once at Run start; this is a cached read.
 func (v *View) MixTotals() (cb, mb arch.Cycles) {
-	for _, s := range v.nets {
-		st := s.cn.Stats()
-		cb += st.CBCycles
-		mb += st.MBCycles
-	}
-	return cb, mb
+	return v.cbTotal, v.mbTotal
 }
 
 // FreeBlocks returns the number of free weight-SRAM blocks.
@@ -296,14 +315,14 @@ func (v *View) IsCBExecutable(r CBRef) bool {
 
 // MBCandidates appends to out one entry per (net, layer) whose next
 // memory block is unlocked (dependency-free), in (net, layer) order.
-// Capacity is not checked — use IsMBIssuable or MBBlocks.
+// Capacity is not checked — use IsMBIssuable or MBBlocks. The engine
+// maintains the per-net frontiers incrementally, so the cost is the
+// size of the result, not the layer count.
 func (v *View) MBCandidates(out []MBRef) []MBRef {
 	for _, ni := range v.active {
 		s := v.nets[ni]
-		for li := range s.cn.Layers {
-			if s.mbIndeg[li] == 0 && s.mbIssued[li] < s.cn.Layers[li].Iters {
-				out = append(out, MBRef{Net: ni, Layer: li, Iter: s.mbIssued[li]})
-			}
+		for _, li := range s.mbFront {
+			out = append(out, MBRef{Net: ni, Layer: li, Iter: s.mbIssued[li]})
 		}
 	}
 	return out
@@ -315,10 +334,12 @@ func (v *View) MBCandidates(out []MBRef) []MBRef {
 func (v *View) ReadyCBs(out []CBRef) []CBRef {
 	for _, ni := range v.active {
 		s := v.nets[ni]
-		for li := range s.cn.Layers {
-			r := CBRef{Net: ni, Layer: li, Iter: s.cbDone[li]}
-			if s.cbSelected[li] == s.cbDone[li] && v.IsCBExecutable(r) {
-				out = append(out, r)
+		for _, li := range s.cbFront {
+			// cbFront membership already implies cbIndeg == 0 and
+			// mbDone > cbDone; ready additionally means no claim is
+			// pending ahead of execution.
+			if s.cbSelected[li] == s.cbDone[li] {
+				out = append(out, CBRef{Net: ni, Layer: li, Iter: s.cbDone[li]})
 			}
 		}
 	}
@@ -334,10 +355,7 @@ func (v *View) ReadyCBs(out []CBRef) []CBRef {
 func (v *View) SelectableCBs(out []CBRef) []CBRef {
 	for _, ni := range v.active {
 		s := v.nets[ni]
-		for li := range s.cn.Layers {
-			if s.cbIndeg[li] != 0 {
-				continue
-			}
+		for _, li := range s.cbFront {
 			for it := s.cbSelected[li]; it < s.mbDone[li]; it++ {
 				out = append(out, CBRef{Net: ni, Layer: li, Iter: it})
 			}
@@ -349,29 +367,9 @@ func (v *View) SelectableCBs(out []CBRef) []CBRef {
 // AvailableCBCycles returns the total PE work that is available to
 // overlap right now: for every unlocked layer, the compute blocks
 // whose weights are resident but not yet consumed — the paper's
-// AVL_CB, computed exactly from machine state.
-func (v *View) AvailableCBCycles() arch.Cycles {
-	var sum arch.Cycles
-	for _, ni := range v.active {
-		s := v.nets[ni]
-		for li, l := range s.cn.Layers {
-			if s.cbIndeg[li] != 0 {
-				continue
-			}
-			n := s.mbDone[li] - s.cbDone[li]
-			if n <= 0 {
-				continue
-			}
-			sum += arch.Cycles(n) * l.CBCycles
-			if s.remnant[li] > 0 {
-				// The layer's next CB is a halted remainder, shorter
-				// than a full block.
-				sum -= l.CBCycles - (s.remnant[li] + v.cfg.FillLatency)
-			}
-		}
-	}
-	return sum
-}
+// AVL_CB, computed exactly from machine state. The engine maintains
+// the total incrementally, so this is an O(1) read.
+func (v *View) AvailableCBCycles() arch.Cycles { return v.availCB }
 
 // SelectCB claims a compute block ahead of execution (AI-MT's CB
 // merging). Claims must be made in iteration order per layer.

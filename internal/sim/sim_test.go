@@ -546,9 +546,9 @@ func TestViewAccessors(t *testing.T) {
 	)
 	v := &View{cfg: cfg, buf: sram.NewBuffer(cfg.WeightBlocks()), nets: []*netState{newNetState(cn)}}
 	v.nets[0].hostInDone = true
-	v.nets[0].cbIndeg[0] = 0
-	// The engine maintains the active list and the incremental
-	// outstanding/remaining counters; a hand-built View must seed them.
+	// The engine maintains the active list, the incremental
+	// outstanding/remaining counters and the candidate frontiers; a
+	// hand-built View must seed them the same way.
 	v.activeAdd(0)
 	v.mbRemaining = 3
 
@@ -568,12 +568,15 @@ func TestViewAccessors(t *testing.T) {
 	if got := v.AvailableCBCycles(); got != 0 {
 		t.Fatalf("available CB cycles = %d before any fetch", got)
 	}
-	// Simulate a completed fetch, adjusting the engine-maintained
-	// counters the way issueMB would.
+	// Simulate a completed fetch and the host-input unlock, adjusting
+	// the engine-maintained counters and frontiers the way issueMB,
+	// completeMB and finishHostIn would.
 	v.nets[0].mbIssued[0] = 1
 	v.nets[0].mbDone[0] = 1
 	v.outstanding++
 	v.mbRemaining--
+	v.nets[0].cbIndeg[0] = 0
+	v.unlockCB(v.nets[0], 0)
 	if got := v.AvailableCBCycles(); got != 20 {
 		t.Fatalf("available CB cycles = %d, want 20", got)
 	}
