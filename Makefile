@@ -8,7 +8,7 @@ GO ?= go
 # and testdata/bench_baseline.json).
 BENCH_PATTERN ?= BenchmarkSimulatorThroughput|BenchmarkServeStream|BenchmarkCandidateScan
 
-.PHONY: check build test race vet bench benchall benchcheck profile golden
+.PHONY: check build test race vet lint fuzz-short bench benchall benchcheck profile golden
 
 check: vet build race
 
@@ -23,6 +23,30 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Static analysis beyond vet. staticcheck and govulncheck are skipped
+# with a hint when not installed, so the target degrades gracefully on
+# machines without them; CI installs pinned versions and runs both.
+lint: vet
+	@gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$' || { echo "gofmt: files above need formatting"; exit 1; }
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Short fuzz smoke: 30s per target over the compiler and stream
+# fuzzers. `go test` accepts one -fuzz pattern per invocation, hence
+# two runs.
+FUZZTIME ?= 30s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzStream$$' -fuzztime $(FUZZTIME) .
 
 # Run the engine-throughput benchmarks and write BENCH_3.json
 # (blocks/sec, ns/op, allocs/op per benchmark).

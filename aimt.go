@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"aimt/internal/arch"
+	"aimt/internal/cluster"
 	"aimt/internal/compiler"
 	"aimt/internal/core"
 	"aimt/internal/nn"
@@ -290,4 +291,67 @@ const (
 // point.
 func PrintServeCurve(w io.Writer, points []ServeCurvePoint) error {
 	return serve.PrintCurve(w, points)
+}
+
+// Cluster serving (extension): N independent chip engines behind a
+// request dispatcher with pluggable routing policies; see the
+// internal/cluster package.
+
+// ClusterPolicy routes requests to chips; see cluster.Policy.
+type ClusterPolicy = cluster.Policy
+
+// ClusterPolicySpec names a routing policy and builds fresh instances;
+// see cluster.Spec.
+type ClusterPolicySpec = cluster.Spec
+
+// ClusterOptions tunes one cluster serving run; see cluster.Options.
+type ClusterOptions = cluster.Options
+
+// ClusterResult is one policy's cluster serving outcome with per-chip
+// and aggregate reports; see cluster.Result.
+type ClusterResult = cluster.Result
+
+// ClusterCurveOptions tunes a cluster load sweep; see
+// cluster.CurveOptions.
+type ClusterCurveOptions = cluster.CurveOptions
+
+// ClusterCurvePoint is one offered-load point of a cluster sweep; see
+// cluster.CurvePoint.
+type ClusterCurvePoint = cluster.CurvePoint
+
+// ClusterPolicies returns every built-in routing policy: round-robin,
+// least-work, class-affinity and deadline.
+func ClusterPolicies() []ClusterPolicySpec { return cluster.Policies() }
+
+// ClusterPolicyByName resolves a routing policy spec from its name.
+func ClusterPolicyByName(name string) (ClusterPolicySpec, error) { return cluster.ByName(name) }
+
+// ClusterDispatch routes every request of a stream to a chip under the
+// policy and returns the request-to-chip assignment.
+func ClusterDispatch(s *ServeStream, pol ClusterPolicy, chips int) ([]int, error) {
+	return cluster.Dispatch(s, pol, chips)
+}
+
+// ClusterServe routes a stream across a simulated multi-chip cluster
+// and runs every chip's sub-stream on its own engine, reporting
+// per-chip and aggregate tail latency, SLA misses and load imbalance.
+func ClusterServe(cfg Config, s *ServeStream, spec SchedulerSpec, pol ClusterPolicy, opts ClusterOptions) (*ClusterResult, error) {
+	return cluster.Serve(cfg, s, spec, pol, opts)
+}
+
+// ClusterLoadCurve sweeps offered load against a cluster, routing the
+// identical request sequence under every policy at each point.
+func ClusterLoadCurve(cfg Config, classes []ServeClass, spec SchedulerSpec, policies []ClusterPolicySpec, opts ClusterCurveOptions) ([]ClusterCurvePoint, error) {
+	return cluster.LoadCurve(cfg, classes, spec, policies, opts)
+}
+
+// PrintClusterCurve renders a cluster load sweep as one aggregate
+// table per offered-load point.
+func PrintClusterCurve(w io.Writer, points []ClusterCurvePoint) error {
+	return cluster.PrintCurve(w, points)
+}
+
+// PrintClusterChips renders one cluster result's per-chip breakdown.
+func PrintClusterChips(w io.Writer, r *ClusterResult) error {
+	return cluster.PrintChips(w, r)
 }

@@ -13,6 +13,14 @@
 //	aimt-serve -process bursty         # bursty arrivals
 //	aimt-serve -sched FIFO,EDF         # subset of schedulers
 //	aimt-serve -cpuprofile cpu.pprof   # profile the sweep (pprof)
+//
+// With -chips N (or -route) the sweep runs against a simulated
+// multi-chip cluster: a dispatcher routes each request to one of N
+// independent chip engines, and offered loads are per chip:
+//
+//	aimt-serve -chips 4 -route least-work   # 4-chip cluster, one policy
+//	aimt-serve -chips 8                     # compare all routing policies
+//	aimt-serve -chips 4 -perchip            # include per-chip breakdowns
 package main
 
 import (
@@ -35,6 +43,9 @@ type options struct {
 	seed     int64
 	parallel int
 	check    bool
+	chips    int
+	route    string
+	perchip  bool
 }
 
 func main() {
@@ -50,6 +61,9 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 7, "stream seed")
 	flag.IntVar(&opts.parallel, "parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&opts.check, "check", false, "run the machine-model invariant checker on every simulation")
+	flag.IntVar(&opts.chips, "chips", 1, "simulated cluster size; >1 routes the stream across independent chips")
+	flag.StringVar(&opts.route, "route", "", "comma-separated routing policy subset for cluster mode (empty = all)")
+	flag.BoolVar(&opts.perchip, "perchip", false, "in cluster mode, print per-chip breakdowns for every result")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -98,9 +112,16 @@ func run(opts options) error {
 		schedulers = sel
 	}
 
-	copts := aimt.ServeCurveOptions{Stream: sopts, Workers: opts.parallel, CheckInvariants: opts.check}
+	clusterMode := opts.chips > 1 || opts.route != ""
+	if opts.chips < 1 {
+		return fmt.Errorf("bad chip count %d", opts.chips)
+	}
+
+	// Translate explicit offered loads into mean arrival gaps. In
+	// cluster mode the loads are per chip: N chips at load L absorb an
+	// aggregate arrival rate N*L, so the stream gap shrinks by N.
+	var gaps []aimt.Cycles
 	if opts.loads != "" {
-		// Probe the mean service estimate to translate loads to gaps.
 		probeOpts := sopts
 		probeOpts.Requests = 1
 		probeOpts.MeanGap = 1
@@ -113,18 +134,83 @@ func run(opts options) error {
 			if err != nil || load <= 0 {
 				return errors.New("bad load " + strconv.Quote(f))
 			}
-			gap := aimt.Cycles(probe.MeanService / load)
+			gap := aimt.Cycles(probe.MeanService / (load * float64(opts.chips)))
 			if gap < 1 {
 				gap = 1
 			}
-			copts.Gaps = append(copts.Gaps, gap)
+			gaps = append(gaps, gap)
 		}
 	}
 
+	if clusterMode {
+		// Cluster mode compares routing policies under one per-chip
+		// scheduler: the first -sched selection, or AI-MT by default.
+		spec := schedulers[0]
+		if opts.scheds == "" {
+			for _, s := range schedulers {
+				if s.Name == "AI-MT" {
+					spec = s
+				}
+			}
+		}
+		return runCluster(cfg, classes, spec, gaps, opts)
+	}
+
+	copts := aimt.ServeCurveOptions{Stream: sopts, Gaps: gaps, Workers: opts.parallel, CheckInvariants: opts.check}
 	points, err := aimt.ServeLoadCurve(cfg, classes, schedulers, copts)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Serving load sweep: %d requests per point, %s arrivals\n\n", opts.requests, opts.process)
 	return aimt.PrintServeCurve(os.Stdout, points)
+}
+
+// runCluster sweeps offered load against a simulated multi-chip
+// cluster. Every chip runs the given scheduler (the first of the
+// -sched selection, AI-MT by default); -route narrows the routing
+// policies under comparison.
+func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, gaps []aimt.Cycles, opts options) error {
+	policies := aimt.ClusterPolicies()
+	if opts.route != "" {
+		var sel []aimt.ClusterPolicySpec
+		for _, n := range strings.Split(opts.route, ",") {
+			pspec, err := aimt.ClusterPolicyByName(strings.ToLower(strings.TrimSpace(n)))
+			if err != nil {
+				return err
+			}
+			sel = append(sel, pspec)
+		}
+		policies = sel
+	}
+
+	sopts := aimt.ServeStreamOptions{Requests: opts.requests, Seed: opts.seed}
+	if strings.EqualFold(opts.process, "bursty") {
+		sopts.Process = aimt.ServeBursty
+	}
+	points, err := aimt.ClusterLoadCurve(cfg, classes, spec, policies, aimt.ClusterCurveOptions{
+		Stream:          sopts,
+		Gaps:            gaps,
+		Chips:           opts.chips,
+		Workers:         opts.parallel,
+		CheckInvariants: opts.check,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Cluster load sweep: %d chips x %s per chip, %d requests per point, %s arrivals\n\n",
+		opts.chips, spec.Name, opts.requests, opts.process)
+	if err := aimt.PrintClusterCurve(os.Stdout, points); err != nil {
+		return err
+	}
+	if opts.perchip {
+		for _, pt := range points {
+			for _, r := range pt.Results {
+				fmt.Printf("\nper-chip, %s at per-chip load %.2f:\n", r.Policy, pt.ChipLoad)
+				if err := aimt.PrintClusterChips(os.Stdout, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }

@@ -542,6 +542,108 @@ func PrintLoadCurve(w io.Writer, cfg Config) error {
 	return serve.PrintCurve(w, points)
 }
 
+// ClusterScaleChips are the chip counts swept by the clusterscale
+// experiment.
+var ClusterScaleChips = []int{1, 2, 4, 8}
+
+// ClusterScaleLoad is the clusterscale experiment's fixed offered load
+// in single-chip capacities: 2.5 means the stream demands two and a
+// half chips' worth of service, so 1- and 2-chip clusters saturate
+// while 4 and 8 chips have headroom.
+const ClusterScaleLoad = 2.5
+
+// ClusterScalePoint is one (policy, chip count) cell of the
+// clusterscale experiment.
+type ClusterScalePoint struct {
+	// Policy is the routing policy name.
+	Policy string
+	// Chips is the cluster size.
+	Chips int
+	// Agg is the aggregate report over every request.
+	Agg *ServeReport
+	// Imbalance is the PE-load imbalance across chips.
+	Imbalance float64
+}
+
+// ClusterScaleData holds offered load fixed at ClusterScaleLoad
+// single-chip capacities and sweeps the cluster size under every
+// routing policy (AI-MT on every chip): aggregate throughput must grow
+// with the chip count while tail latency and SLA misses collapse once
+// the cluster absorbs the load. The same request sequence (same seed)
+// is routed at every cell, so cells differ only in cluster shape and
+// policy.
+func ClusterScaleData(cfg Config) ([]ClusterScalePoint, error) {
+	classes := DefaultServingClasses()
+	probe, err := NewServeStream(cfg, classes, ServeStreamOptions{Requests: 1, MeanGap: 1, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	gap := Cycles(probe.MeanService / ClusterScaleLoad)
+	if gap < 1 {
+		gap = 1
+	}
+	stream, err := NewServeStream(cfg, classes, ServeStreamOptions{Requests: 320, MeanGap: gap, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	spec := SchedulerSpec{Name: "AI-MT", New: func(c Config, _ *ServeStream) Scheduler { return NewAIMT(c, AllMechanisms()) }}
+	var out []ClusterScalePoint
+	for _, pol := range ClusterPolicies() {
+		for _, chips := range ClusterScaleChips {
+			res, err := ClusterServe(cfg, stream, spec, pol.New(), ClusterOptions{
+				Chips:   chips,
+				Workers: SweepParallelism(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("clusterscale %s x%d: %w", pol.Name, chips, err)
+			}
+			out = append(out, ClusterScalePoint{
+				Policy:    pol.Name,
+				Chips:     chips,
+				Agg:       res.Agg,
+				Imbalance: res.Imbalance,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintClusterScale renders the clusterscale experiment: one table per
+// routing policy, chip count ascending.
+func PrintClusterScale(w io.Writer, cfg Config) error {
+	pts, err := ClusterScaleData(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Cluster scaling (extension): %d requests at %.1f single-chip loads, AI-MT per chip\n",
+		320, ClusterScaleLoad); err != nil {
+		return err
+	}
+	var cur string
+	var t *metrics.Table
+	flush := func() error {
+		if t == nil {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "policy %s\n%s\n", cur, t)
+		return err
+	}
+	for _, p := range pts {
+		if p.Policy != cur {
+			if err := flush(); err != nil {
+				return err
+			}
+			cur = p.Policy
+			t = metrics.NewTable("chips", "p50", "p99", "p99.9", "miss rate", "req/Mcyc", "PE util", "imbalance")
+		}
+		t.AddRow(fmt.Sprint(p.Chips),
+			fmt.Sprint(p.Agg.P50), fmt.Sprint(p.Agg.P99), fmt.Sprint(p.Agg.P999),
+			metrics.Pct(p.Agg.MissRate), metrics.F(p.Agg.Throughput),
+			metrics.Pct(p.Agg.PEUtil), metrics.F(p.Imbalance))
+	}
+	return flush()
+}
+
 // SpatialData returns, per zoo network, the mean spatial MAC
 // utilization of the weight-stationary mapping — the §VI-B headroom a
 // spatial co-execution extension could reclaim.
@@ -674,6 +776,7 @@ func Experiments() []Experiment {
 		{ID: "table3", Title: "Power and area overheads", Run: PrintTable3},
 		{ID: "serving", Title: "Open-loop serving latency (extension)", Run: PrintServing},
 		{ID: "loadcurve", Title: "Serving load sweep with SLA tracking (extension)", Run: PrintLoadCurve},
+		{ID: "clusterscale", Title: "Cluster scaling: throughput and tail latency vs chip count (extension)", Run: PrintClusterScale},
 		{ID: "spatial", Title: "Spatial PE utilization headroom (extension)", Run: PrintSpatial},
 	}
 }

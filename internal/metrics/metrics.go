@@ -74,6 +74,27 @@ func ANTT(alone []arch.Cycles, shared *sim.Result) float64 {
 	return sum / float64(n)
 }
 
+// Imbalance quantifies how unevenly a quantity is spread over a set of
+// servers: the maximum share over the mean share, minus one. 0 means
+// perfectly balanced; 1 means the busiest server carries double the
+// average. Empty, single-element and all-zero inputs return 0.
+func Imbalance(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	var top, sum float64
+	for _, v := range vals {
+		if v > top {
+			top = v
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return top*float64(len(vals))/sum - 1
+}
+
 // Percentile returns the p-th percentile (0..100) of the values using
 // nearest-rank on a sorted copy; it returns 0 for an empty slice or a
 // NaN p. Out-of-range p clamps to the extremes. For streams too long

@@ -150,3 +150,23 @@ func TestFormatters(t *testing.T) {
 		t.Errorf("Pct = %q", got)
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 0},
+		{"balanced", []float64{3, 3, 3, 3}, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"one hot", []float64{2, 0, 0, 0}, 3},
+		{"mild skew", []float64{2, 1, 1}, 0.5},
+	}
+	for _, tc := range cases {
+		if got := Imbalance(tc.vals); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Imbalance(%v) = %v, want %v", tc.name, tc.vals, got, tc.want)
+		}
+	}
+}

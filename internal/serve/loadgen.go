@@ -148,6 +148,11 @@ type Stream struct {
 	// Classes names the request classes, in Class order.
 	Classes []string
 
+	// ClassService gives each class's isolated service estimate,
+	// indexed like Classes — the unit of outstanding work a cluster
+	// dispatcher accounts per routed request.
+	ClassService []arch.Cycles
+
 	// MeanService is the weight-averaged isolated service estimate of
 	// one request, the numerator of offered load.
 	MeanService float64
@@ -165,6 +170,34 @@ func (s *Stream) OfferedLoad() float64 {
 		return 0
 	}
 	return s.MeanService / float64(s.MeanGap)
+}
+
+// SubStream returns the stream restricted to the given request
+// indices, which must be ascending and in range. Arrival order (and
+// therefore the non-decreasing arrival invariant) is preserved, so the
+// result is itself a valid stream — this is how a cluster dispatcher
+// turns one front-door stream into per-chip streams. Class metadata,
+// MeanService and MeanGap are inherited from the parent; per-request
+// slices are fresh copies.
+func (s *Stream) SubStream(name string, indices []int) *Stream {
+	sub := &Stream{
+		Name:         name,
+		Classes:      s.Classes,
+		ClassService: s.ClassService,
+		MeanService:  s.MeanService,
+		MeanGap:      s.MeanGap,
+		Nets:         make([]*compiler.CompiledNetwork, len(indices)),
+		Arrivals:     make([]arch.Cycles, len(indices)),
+		Deadlines:    make([]arch.Cycles, len(indices)),
+		ClassOf:      make([]int, len(indices)),
+	}
+	for i, gi := range indices {
+		sub.Nets[i] = s.Nets[gi]
+		sub.Arrivals[i] = s.Arrivals[gi]
+		sub.Deadlines[i] = s.Deadlines[gi]
+		sub.ClassOf[i] = s.ClassOf[gi]
+	}
+	return sub
 }
 
 // serviceEstimate approximates a request's isolated latency: the
@@ -238,6 +271,7 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 	}
 	for _, cc := range compiled {
 		s.Classes = append(s.Classes, cc.name)
+		s.ClassService = append(s.ClassService, cc.service)
 	}
 
 	var t arch.Cycles

@@ -63,9 +63,11 @@ type Report struct {
 // met their deadline.
 func (r *Report) Attainment() float64 { return 1 - r.MissRate }
 
-// buildReport folds a simulation result into a Report without
-// materializing a latency slice.
-func buildReport(s *Stream, res *sim.Result) *Report {
+// BuildReport folds a simulation result into a Report without
+// materializing a latency slice. res must come from a run over s's
+// requests (Serve does this internally; the cluster layer calls it on
+// per-chip sub-streams and on the merged cluster result).
+func BuildReport(s *Stream, res *sim.Result) *Report {
 	r := &Report{
 		Scheduler: res.Scheduler,
 		Requests:  len(s.Nets),
@@ -118,7 +120,7 @@ func Serve(cfg arch.Config, s *Stream, sch sim.Scheduler, opts sim.Options) (*Re
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(s, res), nil
+	return BuildReport(s, res), nil
 }
 
 // SchedulerSpec names a scheduler and builds a fresh instance per run.
@@ -242,7 +244,7 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 	}
 	for _, o := range outs {
 		gi := o.Index / len(schedulers)
-		rep := buildReport(streams[gi], o.Res)
+		rep := BuildReport(streams[gi], o.Res)
 		rep.Scheduler = o.Scheduler
 		points[gi].Reports = append(points[gi].Reports, rep)
 	}

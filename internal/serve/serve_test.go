@@ -249,3 +249,45 @@ func TestLoadCurveDefaults(t *testing.T) {
 		}
 	}
 }
+
+// TestSubStream: slicing a stream by index preserves per-request data,
+// arrival order and class metadata, and partitions reassemble the
+// parent exactly.
+func TestSubStream(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := NewStream(cfg, DefaultClasses(), StreamOptions{Requests: 31, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ClassService) != len(s.Classes) {
+		t.Fatalf("ClassService has %d entries for %d classes", len(s.ClassService), len(s.Classes))
+	}
+	var even, odd []int
+	for i := range s.Nets {
+		if i%2 == 0 {
+			even = append(even, i)
+		} else {
+			odd = append(odd, i)
+		}
+	}
+	se, so := s.SubStream("even", even), s.SubStream("odd", odd)
+	if len(se.Nets)+len(so.Nets) != len(s.Nets) {
+		t.Fatalf("partition sizes %d+%d != %d", len(se.Nets), len(so.Nets), len(s.Nets))
+	}
+	for k, gi := range even {
+		if se.Nets[k] != s.Nets[gi] || se.Arrivals[k] != s.Arrivals[gi] ||
+			se.Deadlines[k] != s.Deadlines[gi] || se.ClassOf[k] != s.ClassOf[gi] {
+			t.Fatalf("sub request %d does not mirror parent request %d", k, gi)
+		}
+		if k > 0 && se.Arrivals[k] < se.Arrivals[k-1] {
+			t.Fatalf("sub arrivals not monotonic at %d", k)
+		}
+	}
+	if se.MeanGap != s.MeanGap || se.MeanService != s.MeanService {
+		t.Error("sub-stream did not inherit gap/service metadata")
+	}
+	// A sub-stream must be servable as-is.
+	if _, err := Serve(cfg, so, sched.NewFIFO(), sim.Options{CheckInvariants: true}); err != nil {
+		t.Fatalf("serving sub-stream: %v", err)
+	}
+}

@@ -126,10 +126,10 @@ type leakyConsumer struct{ spoof spoofResidency }
 
 func (leakyConsumer) Name() string { return "leaky-consumer" }
 
-func (l leakyConsumer) PickMB(v *View) (MBRef, bool) { return l.spoof.PickMB(v) }
-func (l leakyConsumer) PickCB(v *View) (CBRef, bool) { return l.spoof.PickCB(v) }
-func (leakyConsumer) OnMBDone(*View, MBRef)          {}
-func (leakyConsumer) OnCBStart(*View, CBRef)         {}
+func (l leakyConsumer) PickMB(v *View) (MBRef, bool)      { return l.spoof.PickMB(v) }
+func (l leakyConsumer) PickCB(v *View) (CBRef, bool)      { return l.spoof.PickCB(v) }
+func (leakyConsumer) OnMBDone(*View, MBRef)               {}
+func (leakyConsumer) OnCBStart(*View, CBRef)              {}
 func (leakyConsumer) OnCBSplit(*View, CBRef, arch.Cycles) {}
 
 func (leakyConsumer) OnCBDone(v *View, r CBRef) {
