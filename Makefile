@@ -5,8 +5,10 @@
 GO ?= go
 
 # Throughput-critical benchmarks that gate CI (see cmd/aimt-benchjson
-# and testdata/bench_baseline.json).
-BENCH_PATTERN ?= BenchmarkSimulatorThroughput|BenchmarkServeStream|BenchmarkCandidateScan
+# and testdata/bench_baseline.json). The EngineObs pair measures the
+# observability layer: Disabled is the instrumented-but-off path that
+# must stay free, Enabled the full emission cost.
+BENCH_PATTERN ?= BenchmarkSimulatorThroughput|BenchmarkServeStream|BenchmarkCandidateScan|BenchmarkEngineObs
 
 .PHONY: check build test race vet lint fuzz-short bench benchall benchcheck profile golden
 
@@ -48,11 +50,11 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStream$$' -fuzztime $(FUZZTIME) .
 
-# Run the engine-throughput benchmarks and write BENCH_3.json
+# Run the engine-throughput benchmarks and write BENCH_5.json
 # (blocks/sec, ns/op, allocs/op per benchmark).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/sim | tee bench.txt
-	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out BENCH_3.json
+	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out BENCH_5.json
 
 # Gate against the checked-in baseline; fails only on gross (2×)
 # ns/op regressions so runner-to-runner variance doesn't flake CI.

@@ -23,12 +23,14 @@ package aimt
 
 import (
 	"io"
+	"net/http"
 
 	"aimt/internal/arch"
 	"aimt/internal/cluster"
 	"aimt/internal/compiler"
 	"aimt/internal/core"
 	"aimt/internal/nn"
+	"aimt/internal/obs"
 	"aimt/internal/sched"
 	"aimt/internal/serve"
 	"aimt/internal/sim"
@@ -355,3 +357,33 @@ func PrintClusterCurve(w io.Writer, points []ClusterCurvePoint) error {
 func PrintClusterChips(w io.Writer, r *ClusterResult) error {
 	return cluster.PrintChips(w, r)
 }
+
+// Live observability (extension): an opt-in instrumentation registry
+// and scheduler decision ledger threaded through the simulator,
+// serving and cluster paths; see internal/obs.
+
+// ObsRegistry is a concurrency-safe registry of counters, gauges and
+// histograms with Prometheus-text and JSON exposition; see
+// obs.Registry.
+type ObsRegistry = obs.Registry
+
+// ObsLedger is a bounded ring of scheduler decisions (MB prefetches,
+// CB merges, early evictions, CB splits) with cycle, network, SRAM
+// occupancy and stall attribution; see obs.Ledger.
+type ObsLedger = obs.Ledger
+
+// ObsDecision is one ledger entry; see obs.Decision.
+type ObsDecision = obs.Decision
+
+// NewObsRegistry returns an empty observability registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsLedger returns a decision ledger retaining the last cap
+// entries (<= 0 means obs.DefaultLedgerCap). Lifetime per-kind and
+// per-stall counts survive ring eviction.
+func NewObsLedger(cap int) *ObsLedger { return obs.NewLedger(cap) }
+
+// ObsHandler returns the admin HTTP mux serving /metrics (Prometheus
+// text), /healthz and /debug/snapshot for the registry and ledger;
+// either may be nil.
+func ObsHandler(reg *ObsRegistry, led *ObsLedger) *http.ServeMux { return obs.Handler(reg, led) }

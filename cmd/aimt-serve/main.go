@@ -21,31 +21,46 @@
 //	aimt-serve -chips 4 -route least-work   # 4-chip cluster, one policy
 //	aimt-serve -chips 8                     # compare all routing policies
 //	aimt-serve -chips 4 -perchip            # include per-chip breakdowns
+//
+// With -admin the sweep is observable while it runs: an HTTP server
+// exposes live engine counters and gauges in Prometheus text form,
+// a JSON snapshot with the scheduler decision ledger tail, and pprof:
+//
+//	aimt-serve -admin :8080            # /metrics, /healthz,
+//	                                   # /debug/snapshot, /debug/pprof/
+//	aimt-serve -admin :8080 -hold 1m   # keep serving 1m after the sweep
+//	aimt-serve -ledger dec.jsonl       # dump the decision ledger
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"aimt"
 	"aimt/internal/profiling"
 )
 
 type options struct {
-	requests int
-	process  string
-	loads    string
-	scheds   string
-	seed     int64
-	parallel int
-	check    bool
-	chips    int
-	route    string
-	perchip  bool
+	requests  int
+	process   string
+	loads     string
+	scheds    string
+	seed      int64
+	parallel  int
+	check     bool
+	chips     int
+	route     string
+	perchip   bool
+	admin     string
+	hold      time.Duration
+	ledgerOut string
 }
 
 func main() {
@@ -64,6 +79,9 @@ func main() {
 	flag.IntVar(&opts.chips, "chips", 1, "simulated cluster size; >1 routes the stream across independent chips")
 	flag.StringVar(&opts.route, "route", "", "comma-separated routing policy subset for cluster mode (empty = all)")
 	flag.BoolVar(&opts.perchip, "perchip", false, "in cluster mode, print per-chip breakdowns for every result")
+	flag.StringVar(&opts.admin, "admin", "", "serve /metrics, /healthz, /debug/snapshot and /debug/pprof/ on this address (e.g. :8080)")
+	flag.DurationVar(&opts.hold, "hold", 0, "with -admin, keep the admin server up this long after the sweep finishes")
+	flag.StringVar(&opts.ledgerOut, "ledger", "", "write the scheduler decision ledger as JSON Lines to this file")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -81,17 +99,64 @@ func main() {
 	}
 }
 
+// validate rejects bad flag combinations before any simulation work,
+// returning the parsed -loads factors and -route policy selection.
+func validate(opts options) ([]float64, []aimt.ClusterPolicySpec, error) {
+	if opts.requests <= 0 {
+		return nil, nil, fmt.Errorf("-requests must be positive, got %d", opts.requests)
+	}
+	if opts.chips < 1 {
+		return nil, nil, fmt.Errorf("-chips must be at least 1, got %d", opts.chips)
+	}
+	if opts.parallel < 0 {
+		return nil, nil, fmt.Errorf("-parallel must be non-negative, got %d", opts.parallel)
+	}
+	switch strings.ToLower(opts.process) {
+	case "", "poisson", "bursty":
+	default:
+		return nil, nil, fmt.Errorf("unknown -process %q (want poisson or bursty)", opts.process)
+	}
+	var loads []float64
+	if opts.loads != "" {
+		for _, f := range strings.Split(opts.loads, ",") {
+			load, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || load <= 0 {
+				return nil, nil, errors.New("-loads values must be positive numbers, got " + strconv.Quote(f))
+			}
+			loads = append(loads, load)
+		}
+	}
+	var policies []aimt.ClusterPolicySpec
+	if opts.route != "" {
+		for _, n := range strings.Split(opts.route, ",") {
+			pspec, err := aimt.ClusterPolicyByName(strings.ToLower(strings.TrimSpace(n)))
+			if err != nil {
+				return nil, nil, fmt.Errorf("-route: %w", err)
+			}
+			policies = append(policies, pspec)
+		}
+	}
+	if opts.hold < 0 {
+		return nil, nil, fmt.Errorf("-hold must be non-negative, got %v", opts.hold)
+	}
+	if opts.hold > 0 && opts.admin == "" {
+		return nil, nil, errors.New("-hold requires -admin")
+	}
+	return loads, policies, nil
+}
+
 func run(opts options) error {
+	loads, policies, err := validate(opts)
+	if err != nil {
+		return err
+	}
+
 	cfg := aimt.PaperConfig()
 	classes := aimt.DefaultServingClasses()
 
 	sopts := aimt.ServeStreamOptions{Requests: opts.requests, Seed: opts.seed}
-	switch strings.ToLower(opts.process) {
-	case "", "poisson":
-	case "bursty":
+	if strings.EqualFold(opts.process, "bursty") {
 		sopts.Process = aimt.ServeBursty
-	default:
-		return fmt.Errorf("unknown process %q", opts.process)
 	}
 
 	schedulers := aimt.ServeStandardSchedulers()
@@ -112,16 +177,33 @@ func run(opts options) error {
 		schedulers = sel
 	}
 
-	clusterMode := opts.chips > 1 || opts.route != ""
-	if opts.chips < 1 {
-		return fmt.Errorf("bad chip count %d", opts.chips)
+	// Observability: one registry and ledger shared by every run of
+	// the sweep, served live when -admin is set.
+	var reg *aimt.ObsRegistry
+	var led *aimt.ObsLedger
+	if opts.admin != "" || opts.ledgerOut != "" {
+		reg = aimt.NewObsRegistry()
+		led = aimt.NewObsLedger(0)
+	}
+	if opts.admin != "" {
+		mux := aimt.ObsHandler(reg, led)
+		profiling.AttachPprof(mux)
+		// Bind synchronously so the endpoints answer for the whole
+		// sweep, not only once it finishes.
+		ln, err := net.Listen("tcp", opts.admin)
+		if err != nil {
+			return fmt.Errorf("-admin: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
+		fmt.Printf("admin: serving /metrics, /healthz, /debug/snapshot, /debug/pprof/ on %s\n", ln.Addr())
 	}
 
 	// Translate explicit offered loads into mean arrival gaps. In
 	// cluster mode the loads are per chip: N chips at load L absorb an
 	// aggregate arrival rate N*L, so the stream gap shrinks by N.
 	var gaps []aimt.Cycles
-	if opts.loads != "" {
+	if len(loads) > 0 {
 		probeOpts := sopts
 		probeOpts.Requests = 1
 		probeOpts.MeanGap = 1
@@ -129,11 +211,7 @@ func run(opts options) error {
 		if err != nil {
 			return err
 		}
-		for _, f := range strings.Split(opts.loads, ",") {
-			load, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil || load <= 0 {
-				return errors.New("bad load " + strconv.Quote(f))
-			}
+		for _, load := range loads {
 			gap := aimt.Cycles(probe.MeanService / (load * float64(opts.chips)))
 			if gap < 1 {
 				gap = 1
@@ -142,6 +220,7 @@ func run(opts options) error {
 		}
 	}
 
+	clusterMode := opts.chips > 1 || opts.route != ""
 	if clusterMode {
 		// Cluster mode compares routing policies under one per-chip
 		// scheduler: the first -sched selection, or AI-MT by default.
@@ -153,39 +232,51 @@ func run(opts options) error {
 				}
 			}
 		}
-		return runCluster(cfg, classes, spec, gaps, opts)
+		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, opts)
+	} else {
+		copts := aimt.ServeCurveOptions{
+			Stream: sopts, Gaps: gaps, Workers: opts.parallel,
+			CheckInvariants: opts.check, Metrics: reg, Ledger: led,
+		}
+		var points []aimt.ServeCurvePoint
+		points, err = aimt.ServeLoadCurve(cfg, classes, schedulers, copts)
+		if err == nil {
+			fmt.Printf("Serving load sweep: %d requests per point, %s arrivals\n\n", opts.requests, opts.process)
+			err = aimt.PrintServeCurve(os.Stdout, points)
+		}
 	}
-
-	copts := aimt.ServeCurveOptions{Stream: sopts, Gaps: gaps, Workers: opts.parallel, CheckInvariants: opts.check}
-	points, err := aimt.ServeLoadCurve(cfg, classes, schedulers, copts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Serving load sweep: %d requests per point, %s arrivals\n\n", opts.requests, opts.process)
-	return aimt.PrintServeCurve(os.Stdout, points)
+
+	if opts.ledgerOut != "" {
+		f, err := os.Create(opts.ledgerOut)
+		if err != nil {
+			return err
+		}
+		if err := led.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("ledger: wrote %d of %d decisions to %s\n", led.Len(), led.Total(), opts.ledgerOut)
+	}
+	if opts.admin != "" && opts.hold > 0 {
+		fmt.Printf("admin: holding for %v (ctrl-c to stop)\n", opts.hold)
+		time.Sleep(opts.hold)
+	}
+	return nil
 }
 
 // runCluster sweeps offered load against a simulated multi-chip
 // cluster. Every chip runs the given scheduler (the first of the
 // -sched selection, AI-MT by default); -route narrows the routing
 // policies under comparison.
-func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, gaps []aimt.Cycles, opts options) error {
-	policies := aimt.ClusterPolicies()
-	if opts.route != "" {
-		var sel []aimt.ClusterPolicySpec
-		for _, n := range strings.Split(opts.route, ",") {
-			pspec, err := aimt.ClusterPolicyByName(strings.ToLower(strings.TrimSpace(n)))
-			if err != nil {
-				return err
-			}
-			sel = append(sel, pspec)
-		}
-		policies = sel
-	}
-
-	sopts := aimt.ServeStreamOptions{Requests: opts.requests, Seed: opts.seed}
-	if strings.EqualFold(opts.process, "bursty") {
-		sopts.Process = aimt.ServeBursty
+func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, opts options) error {
+	if len(policies) == 0 {
+		policies = aimt.ClusterPolicies()
 	}
 	points, err := aimt.ClusterLoadCurve(cfg, classes, spec, policies, aimt.ClusterCurveOptions{
 		Stream:          sopts,
@@ -193,6 +284,8 @@ func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerS
 		Chips:           opts.chips,
 		Workers:         opts.parallel,
 		CheckInvariants: opts.check,
+		Metrics:         reg,
+		Ledger:          led,
 	})
 	if err != nil {
 		return err

@@ -21,9 +21,11 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"aimt/internal/arch"
 	"aimt/internal/metrics"
+	"aimt/internal/obs"
 	"aimt/internal/serve"
 	"aimt/internal/sim"
 	"aimt/internal/sweep"
@@ -41,6 +43,17 @@ type Options struct {
 	// CheckInvariants turns the machine-model invariant checker on for
 	// every chip's simulation.
 	CheckInvariants bool
+
+	// Metrics, when non-nil, receives live engine series from every
+	// chip simulation plus per-chip and imbalance series published
+	// when the run completes. Counters aggregate across runs sharing
+	// the registry; gauges are last-writer-wins.
+	Metrics *obs.Registry
+
+	// Ledger, when non-nil, records every chip scheduler's decisions
+	// (interleaved across chips; entries carry chip-local network
+	// indices).
+	Ledger *obs.Ledger
 }
 
 // Result is one policy's cluster serving outcome.
@@ -138,13 +151,23 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		}
 		sub := s.SubStream(fmt.Sprintf("%s-chip%d", s.Name, c), perChip[c])
 		subs[c] = sub
+		var netClasses []string
+		if opts.Metrics != nil {
+			netClasses = sub.NetClasses()
+		}
 		jobs = append(jobs, sweep.Job{
 			Mix:       sub.Name,
 			Scheduler: spec.Name,
 			Cfg:       cfg,
 			Nets:      sub.Nets,
 			New:       func() sim.Scheduler { return spec.New(cfg, sub) },
-			Opts:      sim.Options{Arrivals: sub.Arrivals, CheckInvariants: opts.CheckInvariants},
+			Opts: sim.Options{
+				Arrivals:        sub.Arrivals,
+				CheckInvariants: opts.CheckInvariants,
+				Metrics:         opts.Metrics,
+				Ledger:          opts.Ledger,
+				NetClasses:      netClasses,
+			},
 		})
 		jobChip = append(jobChip, c)
 	}
@@ -216,7 +239,30 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		}
 	}
 	res.Imbalance = metrics.Imbalance(utils)
+	res.publish(opts.Metrics, utils)
 	return res, nil
+}
+
+// publish folds the cluster outcome into an observability registry:
+// routed-request and SLA-miss counters plus imbalance per policy, and
+// per-chip request, PE-utilization and p99 gauges. A nil registry is
+// a no-op.
+func (r *Result) publish(reg *obs.Registry, utils []float64) {
+	if reg == nil {
+		return
+	}
+	pl := func(name string) string { return obs.Label(name, "policy", r.Policy) }
+	reg.Counter(pl("aimt_cluster_requests_total")).Add(int64(len(r.Assignment)))
+	reg.Counter(pl("aimt_cluster_sla_misses_total")).Add(int64(r.Agg.Misses))
+	reg.Gauge(pl("aimt_cluster_imbalance")).Set(r.Imbalance)
+	for c, rep := range r.PerChip {
+		ch := func(name string) string { return obs.Label(name, "chip", strconv.Itoa(c)) }
+		reg.Gauge(ch("aimt_cluster_chip_requests")).Set(float64(rep.Requests))
+		reg.Gauge(ch("aimt_cluster_chip_p99_cycles")).Set(float64(rep.P99))
+		if c < len(utils) {
+			reg.Gauge(ch("aimt_cluster_chip_pe_util")).Set(utils[c])
+		}
+	}
 }
 
 // CurveOptions tune a cluster load sweep.
@@ -240,6 +286,11 @@ type CurveOptions struct {
 	// CheckInvariants turns the machine-model invariant checker on for
 	// every chip simulation.
 	CheckInvariants bool
+
+	// Metrics and Ledger, when non-nil, are threaded into every
+	// cluster run of the sweep; see Options.
+	Metrics *obs.Registry
+	Ledger  *obs.Ledger
 }
 
 // CurvePoint is one offered-load point of a cluster load sweep: the
@@ -301,6 +352,8 @@ func LoadCurve(cfg arch.Config, classes []serve.Class, spec serve.SchedulerSpec,
 				Chips:           chips,
 				Workers:         opts.Workers,
 				CheckInvariants: opts.CheckInvariants,
+				Metrics:         opts.Metrics,
+				Ledger:          opts.Ledger,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("cluster: %s at gap %d: %w", pspec.Name, gap, err)

@@ -326,6 +326,7 @@ func (a *AIMT) PickMB(v *sim.View) (sim.MBRef, bool) {
 	a.rotateMBs(v)
 
 	target, reserve, ok := a.chooseTarget(v)
+	wasReserving := a.reserving
 	a.reserving = !ok && reserve
 	a.stalled = !ok
 	if !ok {
@@ -333,6 +334,12 @@ func (a *AIMT) PickMB(v *sim.View) (sim.MBRef, bool) {
 		// capacity-critical block, consider halting a long compute
 		// block so small ones can free SRAM sooner (Fig 13c).
 		if a.reserving {
+			if !wasReserving {
+				// Attribute the reservation's onset in the decision
+				// ledger (no-op unless the run carries one). target is
+				// the blocked capacity-critical block.
+				v.NoteEviction(target)
+			}
 			a.maybeSplit(v)
 		}
 		return sim.MBRef{}, false
@@ -439,7 +446,9 @@ func (a *AIMT) chooseTarget(v *sim.View) (target sim.MBRef, reserve, ok bool) {
 				return m, false, true
 			}
 			if v.AvailableCBCycles() >= a.mergeThreshold {
-				return sim.MBRef{}, true, false
+				// Reserve for this blocked critical block; return it so
+				// the caller can attribute the reservation.
+				return m, true, false
 			}
 			break
 		}

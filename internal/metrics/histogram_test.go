@@ -1,185 +1,51 @@
 package metrics
 
 import (
-	"math"
-	"math/rand"
-	"sort"
 	"testing"
 
 	"aimt/internal/arch"
 	"aimt/internal/sim"
 )
 
-func TestHistogramExactBelow64(t *testing.T) {
-	var h Histogram
-	for v := arch.Cycles(0); v < 64; v++ {
-		h.Record(v)
-	}
-	if h.Count() != 64 {
-		t.Fatalf("count = %d, want 64", h.Count())
-	}
-	// Every value below histSub occupies its own bucket, so quantiles
-	// are exact: nearest-rank of p over 0..63.
-	for _, p := range []float64{1, 25, 50, 75, 100} {
-		want := Percentile([]arch.Cycles{
-			0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
-			16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31,
-			32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47,
-			48, 49, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, 60, 61, 62, 63,
-		}, p)
-		if got := h.Quantile(p); got != want {
-			t.Errorf("Quantile(%v) = %d, want exact %d", p, got, want)
-		}
-	}
-}
-
-// TestHistogramQuantileError checks the advertised relative error bound
-// of 1/64 against exact nearest-rank percentiles over random values.
-func TestHistogramQuantileError(t *testing.T) {
-	r := rand.New(rand.NewSource(11))
-	var h Histogram
-	var vals []arch.Cycles
-	for i := 0; i < 20000; i++ {
-		v := arch.Cycles(r.Int63n(1 << uint(4+r.Intn(40))))
-		vals = append(vals, v)
-		h.Record(v)
-	}
-	for _, p := range []float64{0, 10, 50, 90, 95, 99, 99.9, 100} {
-		exact := Percentile(vals, p)
-		got := h.Quantile(p)
-		if exact == 0 {
-			if got != 0 {
-				t.Errorf("p%v: got %d, want 0", p, got)
-			}
-			continue
-		}
-		relErr := math.Abs(float64(got)-float64(exact)) / float64(exact)
-		if relErr > 1.0/64+1e-9 {
-			t.Errorf("p%v: got %d, exact %d, relative error %.4f > 1/64", p, got, exact, relErr)
-		}
-	}
-	if h.Max() != Percentile(vals, 100) || h.Min() != Percentile(vals, 0) {
-		t.Errorf("extremes drifted: [%d,%d] vs exact [%d,%d]",
-			h.Min(), h.Max(), Percentile(vals, 0), Percentile(vals, 100))
-	}
-}
-
-func TestHistogramBucketRoundTrip(t *testing.T) {
-	// Every bucket's upper bound must map back to the same bucket, and
-	// indices must be monotone in the value.
-	last := -1
-	for _, v := range []arch.Cycles{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1<<40 + 12345} {
-		idx := histIndex(v)
-		if idx < last {
-			t.Errorf("histIndex(%d) = %d is below an earlier smaller value's bucket", v, idx)
-		}
-		last = idx
-		if u := histUpper(idx); histIndex(u) != idx || u < v {
-			t.Errorf("histUpper(%d) = %d does not bound bucket of %d", idx, u, v)
-		}
-	}
-}
-
-func TestHistogramMerge(t *testing.T) {
-	var a, b, all Histogram
-	r := rand.New(rand.NewSource(3))
-	for i := 0; i < 1000; i++ {
-		v := arch.Cycles(r.Int63n(1 << 30))
-		all.Record(v)
-		if i%2 == 0 {
-			a.Record(v)
-		} else {
-			b.Record(v)
-		}
-	}
-	a.Merge(&b)
-	if a.Count() != all.Count() || a.Max() != all.Max() || a.Min() != all.Min() || a.Mean() != all.Mean() {
-		t.Fatalf("merge disagrees with direct recording: count %d/%d max %d/%d",
-			a.Count(), all.Count(), a.Max(), all.Max())
-	}
-	for _, p := range []float64{50, 99} {
-		if a.Quantile(p) != all.Quantile(p) {
-			t.Errorf("p%v: merged %d != direct %d", p, a.Quantile(p), all.Quantile(p))
-		}
-	}
-}
-
-// TestEmptyInputGuards pins the zero-value behaviour of every metric
-// helper: empty or zero-length inputs must yield 0, never panic.
+// TestEmptyInputGuards sweeps the derived-metric helpers with empty or
+// zero-valued inputs: none may panic and all must return zeros.
 func TestEmptyInputGuards(t *testing.T) {
-	if got := Percentile(nil, 50); got != 0 {
-		t.Errorf("Percentile(nil) = %d", got)
+	empty := &sim.Result{}
+	if Speedup(empty, empty) != 0 {
+		t.Error("Speedup on empty results != 0")
 	}
-	if got := Percentile([]arch.Cycles{1, 2}, math.NaN()); got != 0 {
-		t.Errorf("Percentile(NaN) = %d", got)
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
 	}
-	if got := Percentile([]arch.Cycles{5, 7}, -3); got != 5 {
-		t.Errorf("Percentile(p<0) = %d, want min", got)
+	if STP(nil, empty) != 0 {
+		t.Error("STP with no networks != 0")
 	}
-	if got := Percentile([]arch.Cycles{5, 7}, 200); got != 7 {
-		t.Errorf("Percentile(p>100) = %d, want max", got)
+	if ANTT(nil, empty) != 0 {
+		t.Error("ANTT with no networks != 0")
 	}
-	if got := GeoMean(nil); got != 0 {
-		t.Errorf("GeoMean(nil) = %v", got)
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
 	}
-	if got := GeoMean([]float64{2, 0}); got != 0 {
-		t.Errorf("GeoMean with zero = %v", got)
-	}
-
-	var empty sim.Result
-	if u := empty.PEUtilization(); u != 0 {
-		t.Errorf("PEUtilization of zero Result = %v", u)
-	}
-	if u := empty.MemUtilization(); u != 0 {
-		t.Errorf("MemUtilization of zero Result = %v", u)
-	}
-	if got := Speedup(&empty, &empty); got != 0 {
-		t.Errorf("Speedup of zero Results = %v", got)
-	}
-	if got := STP(nil, &empty); got != 0 {
-		t.Errorf("STP(nil) = %v", got)
-	}
-	if got := ANTT(nil, &empty); got != 0 {
-		t.Errorf("ANTT(nil) = %v", got)
-	}
-	if got := Latencies(&empty); len(got) != 0 {
-		t.Errorf("Latencies of zero Result = %v", got)
-	}
-	// A partially populated Result (finish recorded, arrivals missing)
-	// must not panic.
-	partial := sim.Result{NetFinish: []arch.Cycles{10, 20}}
-	if got := Latencies(&partial); len(got) != 0 {
-		t.Errorf("Latencies with short NetArrive = %v", got)
-	}
-
-	var h Histogram
-	if h.Quantile(50) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
-		t.Error("empty Histogram is not all-zero")
-	}
-	if h.Quantile(math.NaN()) != 0 {
-		t.Error("Histogram.Quantile(NaN) != 0")
-	}
-	h.Record(-5) // clamps, must not panic
-	if h.Quantile(50) != 0 {
-		t.Errorf("negative record did not clamp to 0")
+	if got := Latencies(empty); len(got) != 0 {
+		t.Errorf("Latencies(empty) = %v, want empty", got)
 	}
 }
 
-// TestHistogramMatchesSortedPercentileSmall cross-checks the histogram
-// against the exact estimator on a small latency set, the way serving
-// reports replace collect-all-latencies.
-func TestHistogramMatchesSortedPercentileSmall(t *testing.T) {
-	vals := []arch.Cycles{3, 9, 27, 81, 243, 729}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+// TestHistogramAlias pins that metrics.Histogram is the shared hdr
+// implementation: call sites that migrated from the latency-slice
+// Percentile keep their answers.
+func TestHistogramAlias(t *testing.T) {
+	vals := []arch.Cycles{5, 10, 15, 20, 25}
 	var h Histogram
 	for _, v := range vals {
 		h.Record(v)
 	}
+	if h.Count() != len(vals) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
 	for _, p := range []float64{0, 50, 100} {
-		exact := Percentile(vals, p)
-		got := h.Quantile(p)
-		if relErr := math.Abs(float64(got)-float64(exact)) / float64(exact); relErr > 1.0/64 {
-			t.Errorf("p%v: %d vs exact %d", p, got, exact)
+		if got, want := h.Quantile(p), Percentile(vals, p); got != want {
+			t.Errorf("p%v: Histogram %d != Percentile %d", p, got, want)
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, mux *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := mux.Client().Get(mux.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg, led := fixedRegistry()
+	srv := httptest.NewServer(Handler(reg, led))
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/healthz")
+	if body != "ok\n" || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/healthz = %q (%s)", body, ct)
+	}
+
+	body, ct = get(t, srv, "/metrics")
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ct)
+	}
+	for _, want := range []string{
+		"# TYPE aimt_sim_mb_prefetch_total counter",
+		"aimt_sim_mb_prefetch_total 42",
+		`aimt_serve_requests_total{scheduler="AI-MT"} 300`,
+		`aimt_sim_inflight{class="rnn"} 3`,
+		`aimt_sim_cb_cycles{quantile="0.5"}`,
+		"aimt_sim_cb_cycles_count 100",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, ct = get(t, srv, "/debug/snapshot")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/debug/snapshot content type %q", ct)
+	}
+	var snap snapshotBody
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/snapshot is not valid JSON: %v", err)
+	}
+	if snap.Metrics.Counters["aimt_sim_mb_prefetch_total"] != 42 {
+		t.Errorf("snapshot counters = %v", snap.Metrics.Counters)
+	}
+	if snap.Ledger == nil || snap.Ledger.Total != 3 {
+		t.Errorf("snapshot ledger summary = %+v, want total 3", snap.Ledger)
+	}
+	if len(snap.Tail) != 3 || snap.Tail[1].Kind != KindEarlyEvict {
+		t.Errorf("snapshot tail = %+v", snap.Tail)
+	}
+}
+
+// TestHandlerNilLedger pins that the snapshot omits the ledger
+// section when no ledger is attached.
+func TestHandlerNilLedger(t *testing.T) {
+	reg, _ := fixedRegistry()
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+	body, _ := get(t, srv, "/debug/snapshot")
+	var snap snapshotBody
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Ledger != nil || snap.Tail != nil {
+		t.Errorf("nil-ledger snapshot still has ledger sections: %+v", snap)
+	}
+}

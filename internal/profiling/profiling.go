@@ -9,10 +9,26 @@ package profiling
 
 import (
 	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// AttachPprof mounts the net/http/pprof handlers under /debug/pprof/
+// on the given mux. The admin surface (aimt-serve -admin) combines
+// this with the obs handler, so live runs can be profiled without the
+// file-based -cpuprofile/-memprofile flags:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+}
 
 // Start begins CPU profiling to cpuPath (if non-empty) and returns a
 // stop function that ends the CPU profile and writes a heap profile to

@@ -172,6 +172,17 @@ func (s *Stream) OfferedLoad() float64 {
 	return s.MeanService / float64(s.MeanGap)
 }
 
+// NetClasses returns the per-request class names, indexed like Nets —
+// the shape sim.Options.NetClasses expects for live per-class
+// in-flight gauges.
+func (s *Stream) NetClasses() []string {
+	out := make([]string, len(s.ClassOf))
+	for i, ci := range s.ClassOf {
+		out[i] = s.Classes[ci]
+	}
+	return out
+}
+
 // SubStream returns the stream restricted to the given request
 // indices, which must be ascending and in range. Arrival order (and
 // therefore the non-decreasing arrival invariant) is preserved, so the

@@ -7,6 +7,7 @@ import (
 	"aimt/internal/arch"
 	"aimt/internal/core"
 	"aimt/internal/metrics"
+	"aimt/internal/obs"
 	"aimt/internal/sched"
 	"aimt/internal/sim"
 	"aimt/internal/sweep"
@@ -111,16 +112,51 @@ func BuildReport(s *Stream, res *sim.Result) *Report {
 	return r
 }
 
+// Publish folds the report into an observability registry: request
+// and SLA-violation counters (total and per class) plus headline
+// latency, miss-rate and utilization gauges, all labeled by
+// scheduler. Counters accumulate across publishes — over a load sweep
+// they total the whole sweep — while gauges reflect the last
+// published report. A nil registry is a no-op.
+func (r *Report) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sl := func(name string) string { return obs.Label(name, "scheduler", r.Scheduler) }
+	reg.Counter(sl("aimt_serve_requests_total")).Add(int64(r.Requests))
+	reg.Counter(sl("aimt_serve_sla_misses_total")).Add(int64(r.Misses))
+	for _, cs := range r.PerClass {
+		cl := func(name string) string { return obs.Label(sl(name), "class", cs.Class) }
+		reg.Counter(cl("aimt_serve_class_requests_total")).Add(int64(cs.Requests))
+		reg.Counter(cl("aimt_serve_class_sla_misses_total")).Add(int64(cs.Misses))
+		reg.Gauge(cl("aimt_serve_class_p99_cycles")).Set(float64(cs.P99))
+	}
+	reg.Gauge(sl("aimt_serve_p50_cycles")).Set(float64(r.P50))
+	reg.Gauge(sl("aimt_serve_p99_cycles")).Set(float64(r.P99))
+	reg.Gauge(sl("aimt_serve_p999_cycles")).Set(float64(r.P999))
+	reg.Gauge(sl("aimt_serve_miss_rate")).Set(r.MissRate)
+	reg.Gauge(sl("aimt_serve_throughput_per_mcycle")).Set(r.Throughput)
+	reg.Gauge(sl("aimt_serve_pe_util")).Set(r.PEUtil)
+	reg.Gauge(sl("aimt_serve_mem_util")).Set(r.MemUtil)
+}
+
 // Serve runs one stream under one scheduler and reports SLA
 // attainment and tail latency. opts.Arrivals is overwritten with the
-// stream's arrival times.
+// stream's arrival times. When opts.Metrics is set the run emits live
+// engine series (per-class in-flight included) and the report is
+// published on completion.
 func Serve(cfg arch.Config, s *Stream, sch sim.Scheduler, opts sim.Options) (*Report, error) {
 	opts.Arrivals = s.Arrivals
+	if opts.Metrics != nil && opts.NetClasses == nil {
+		opts.NetClasses = s.NetClasses()
+	}
 	res, err := sim.Run(cfg, s.Nets, sch, opts)
 	if err != nil {
 		return nil, err
 	}
-	return BuildReport(s, res), nil
+	rep := BuildReport(s, res)
+	rep.Publish(opts.Metrics)
+	return rep, nil
 }
 
 // SchedulerSpec names a scheduler and builds a fresh instance per run.
@@ -176,6 +212,17 @@ type CurveOptions struct {
 	// CheckInvariants turns the machine-model invariant checker on for
 	// every run.
 	CheckInvariants bool
+
+	// Metrics, when non-nil, receives live engine series from every
+	// run of the sweep plus the published per-scheduler reports.
+	// Counters aggregate across the whole sweep; gauges are
+	// last-writer-wins across the parallel runs.
+	Metrics *obs.Registry
+
+	// Ledger, when non-nil, records every scheduler decision of every
+	// run of the sweep (interleaved across parallel runs; entries
+	// carry per-run network indices).
+	Ledger *obs.Ledger
 }
 
 // DefaultGapFactors are the offered loads walked when CurveOptions
@@ -220,6 +267,10 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 			return nil, err
 		}
 		streams[gi] = s
+		var netClasses []string
+		if opts.Metrics != nil {
+			netClasses = s.NetClasses()
+		}
 		for _, spec := range schedulers {
 			spec := spec
 			s := s
@@ -229,7 +280,12 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 				Cfg:       cfg,
 				Nets:      s.Nets,
 				New:       func() sim.Scheduler { return spec.New(cfg, s) },
-				Opts:      sim.Options{Arrivals: s.Arrivals},
+				Opts: sim.Options{
+					Arrivals:   s.Arrivals,
+					Metrics:    opts.Metrics,
+					Ledger:     opts.Ledger,
+					NetClasses: netClasses,
+				},
 			})
 		}
 	}
@@ -246,6 +302,7 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 		gi := o.Index / len(schedulers)
 		rep := BuildReport(streams[gi], o.Res)
 		rep.Scheduler = o.Scheduler
+		rep.Publish(opts.Metrics)
 		points[gi].Reports = append(points[gi].Reports, rep)
 	}
 	return points, nil

@@ -7,6 +7,7 @@ import (
 
 	"aimt/internal/arch"
 	"aimt/internal/compiler"
+	"aimt/internal/obs"
 	"aimt/internal/sram"
 )
 
@@ -39,6 +40,29 @@ type Options struct {
 	// input transfer — before its arrival. Nil or short slices mean
 	// arrival at cycle zero.
 	Arrivals []arch.Cycles
+
+	// Metrics, when non-nil, receives live engine telemetry: block
+	// and split counters, per-engine busy-cycle totals, SRAM
+	// occupancy, the AVL_CB level, in-flight population and
+	// utilization gauges (aimt_sim_* series). Handles are resolved
+	// once at Run start, so emission is a few atomic operations per
+	// event; nil keeps the hot loop allocation-free and atomic-free.
+	// Runs sharing a registry aggregate their counters; gauges show
+	// the most recent writer.
+	Metrics *obs.Registry
+
+	// Ledger, when non-nil, records every scheduler decision — MB
+	// prefetches, ahead-of-execution CB claims (merges), early-
+	// eviction capacity reservations and CB splits — with its cycle,
+	// block, SRAM occupancy and stall attribution.
+	Ledger *obs.Ledger
+
+	// NetClasses, when set alongside Metrics, labels each network
+	// instance with its request class; the engine then exports a live
+	// per-class in-flight gauge (aimt_sim_inflight{class="..."}).
+	// Shorter slices leave the remaining nets unlabeled. The serving
+	// layer fills this from its stream's class table.
+	NetClasses []string
 
 	// CheckInvariants validates the machine-model invariants at every
 	// engine event against an independent shadow of the machine state:
@@ -179,6 +203,11 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 	if opts.CheckInvariants {
 		e.chk = newChecker(v)
 	}
+	v.led = opts.Ledger
+	if opts.Metrics != nil {
+		v.om = newSimObs(opts.Metrics, opts.NetClasses, len(nets))
+		v.om.sramTotal.Set(float64(cfg.WeightBlocks()))
+	}
 	e.res.Scheduler = sch.Name()
 	e.res.BlockBytes = cfg.BlockBytes()
 	e.res.NetNames = make([]string, len(nets))
@@ -267,6 +296,10 @@ func (e *engine) loop() error {
 			}
 		}
 		v.now = next
+		if v.om != nil {
+			v.om.now.Set(float64(next))
+			v.om.hostQ.Set(float64(len(e.hostQ) - e.hostHead))
+		}
 
 		if v.memBusy && v.memEnd == v.now {
 			if err := e.completeMB(); err != nil {
@@ -301,6 +334,9 @@ func (e *engine) loop() error {
 // arrive starts network net's host input transfer (or resolves it
 // immediately when the link is unconfigured or the input empty).
 func (e *engine) arrive(net int) error {
+	if e.v.om != nil {
+		e.v.om.arrive(net, len(e.v.active))
+	}
 	c := e.v.cfg.HostCycles(e.v.nets[net].cn.HostInBytes)
 	if c == 0 {
 		return e.finishHostIn(net)
@@ -379,6 +415,14 @@ func (e *engine) issueMB(r MBRef) error {
 	v.memBusy = true
 	v.curMB = r
 	v.memEnd = v.now + e.opts.SchedulerLatency + l.MBCycles
+	if v.om != nil {
+		v.om.prefetches.Inc()
+		v.om.sramUsed.Set(float64(v.buf.UsedBlocks()))
+		v.om.sramPeak.Set(float64(e.res.SRAMPeakBlocks))
+	}
+	if v.led != nil {
+		v.note(obs.KindMBPrefetch, r.Net, r.Layer, r.Iter, v.stallCause(0), l.MBCycles)
+	}
 	if e.chk != nil {
 		if err := e.chk.mbIssue(r, l.MBBlocks); err != nil {
 			return err
@@ -399,7 +443,13 @@ func (e *engine) completeMB() error {
 	v.memBusy = false
 	e.res.MemBusy += l.MBCycles
 	e.res.MBCount++
-	e.trace("mem", "MB:"+l.Name, r.Net, r.Layer, r.Iter, start, v.now)
+	e.trace("mem", "MB:", l.Name, r.Net, r.Layer, r.Iter, start, v.now)
+	if v.om != nil {
+		v.om.mbDone.Inc()
+		v.om.memBusyC.Add(int64(l.MBCycles))
+		v.om.memUtil.Set(ratio(e.res.MemBusy, v.now))
+		v.om.mbHist.Observe(l.MBCycles)
+	}
 	if e.chk != nil {
 		if err := e.chk.mbDone(r, start, v.now); err != nil {
 			return err
@@ -428,6 +478,9 @@ func (e *engine) completeMB() error {
 		if err := e.chk.frontiers(); err != nil {
 			return err
 		}
+	}
+	if v.om != nil {
+		v.om.availCB.Set(float64(v.availCB))
 	}
 	e.sch.OnMBDone(v, r)
 	return nil
@@ -465,10 +518,17 @@ func (e *engine) completeCB() error {
 	v.peBusy = false
 	e.res.PEBusy += v.curCBWork
 	e.res.CBCount++
-	e.trace("pe", "CB:"+l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
+	e.trace("pe", "CB:", l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
 
 	if err := v.buf.Consume(&s.chains[r.Layer], l.MBBlocks); err != nil {
 		return fmt.Errorf("sim: complete CB %+v: %w", r, err)
+	}
+	if v.om != nil {
+		v.om.cbDone.Inc()
+		v.om.peBusyC.Add(int64(v.curCBWork))
+		v.om.peUtil.Set(ratio(e.res.PEBusy, v.now))
+		v.om.cbHist.Observe(v.curCBWork)
+		v.om.sramUsed.Set(float64(v.buf.UsedBlocks()))
 	}
 	if e.chk != nil {
 		if err := e.chk.cbDone(r, v.cbStart, v.now, l.MBBlocks); err != nil {
@@ -507,6 +567,9 @@ func (e *engine) completeCB() error {
 			return err
 		}
 	}
+	if v.om != nil {
+		v.om.availCB.Set(float64(v.availCB))
+	}
 	e.sch.OnCBDone(v, r)
 	return nil
 }
@@ -526,7 +589,7 @@ func (e *engine) applySplit() error {
 	v.peBusy = false
 	e.res.PEBusy += executed
 	e.res.Splits++
-	e.trace("pe", "CB(split):"+l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
+	e.trace("pe", "CB(split):", l.Name, r.Net, r.Layer, r.Iter, v.cbStart, v.now)
 
 	if e.chk != nil {
 		if err := e.chk.cbSplit(r, v.cbStart, v.now, remaining); err != nil {
@@ -548,6 +611,17 @@ func (e *engine) applySplit() error {
 		if err := e.chk.frontiers(); err != nil {
 			return err
 		}
+	}
+	if v.om != nil {
+		v.om.splits.Inc()
+		v.om.peBusyC.Add(int64(executed))
+		v.om.availCB.Set(float64(v.availCB))
+	}
+	if v.led != nil {
+		// A split is by construction a capacity-recovery decision:
+		// the scheduler is clearing the PE so small compute blocks
+		// can free SRAM for a blocked capacity-critical fetch.
+		v.note(obs.KindCBSplit, r.Net, r.Layer, r.Iter, obs.StallPE, remaining)
 	}
 	e.sch.OnCBSplit(v, r, remaining)
 	return nil
@@ -572,7 +646,10 @@ func (e *engine) completeHost() error {
 	if x.output {
 		name = "host-out"
 	}
-	e.trace("host", name, x.net, -1, -1, e.hostEnd-x.cycles, v.now)
+	e.trace("host", "", name, x.net, -1, -1, e.hostEnd-x.cycles, v.now)
+	if v.om != nil {
+		v.om.hostBusyC.Add(int64(x.cycles))
+	}
 	if x.output {
 		e.finishNet(x.net)
 		return nil
@@ -604,6 +681,9 @@ func (e *engine) finishNet(net int) {
 	s.finishAt = e.v.now
 	e.v.activeRemove(net)
 	e.res.NetFinish[net] = e.v.now
+	if e.v.om != nil {
+		e.v.om.finish(net, len(e.v.active))
+	}
 }
 
 func (e *engine) allDone() bool {
@@ -615,9 +695,14 @@ func (e *engine) allDone() bool {
 	return e.hostHead == len(e.hostQ) && !e.hostBusy
 }
 
-func (e *engine) trace(engineName, name string, net, layer, iter int, start, end arch.Cycles) {
+// trace forwards one occupancy interval to the Tracer. The block
+// label is passed as prefix + name and concatenated only after the
+// nil check, so a run without a tracer never pays the string
+// allocation — this keeps the event hot loop allocation-free (see
+// BenchmarkSimulatorThroughput's allocs/op).
+func (e *engine) trace(engineName, prefix, name string, net, layer, iter int, start, end arch.Cycles) {
 	if e.opts.Tracer != nil {
-		e.opts.Tracer.Event(engineName, name, net, layer, iter, start, end)
+		e.opts.Tracer.Event(engineName, prefix+name, net, layer, iter, start, end)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"aimt/internal/arch"
 	"aimt/internal/compiler"
+	"aimt/internal/obs"
 	"aimt/internal/sram"
 )
 
@@ -179,6 +180,13 @@ type View struct {
 	cbTotal, mbTotal arch.Cycles
 
 	now arch.Cycles
+
+	// led and om are the run's observability hooks (Options.Ledger
+	// and Options.Metrics): nil unless the run opted in, and every
+	// emission site guards on that, so the disabled path costs
+	// nothing.
+	led *obs.Ledger
+	om  *simObs
 
 	// HBM channel occupancy.
 	memBusy bool
@@ -385,6 +393,12 @@ func (v *View) SelectCB(r CBRef) error {
 		return fmt.Errorf("sim: SelectCB %+v: weights not resident", r)
 	}
 	s.cbSelected[r.Layer]++
+	if v.om != nil {
+		v.om.merges.Inc()
+	}
+	if v.led != nil {
+		v.note(obs.KindCBMerge, r.Net, r.Layer, r.Iter, v.stallCause(0), v.CBCycles(r))
+	}
 	return nil
 }
 
