@@ -242,6 +242,10 @@ type ServeStreamOptions = serve.StreamOptions
 // streaming (bounded-memory) latency quantiles; see serve.Report.
 type ServeReport = serve.Report
 
+// ServeClassStats is one class's row in a serving report; see
+// serve.ClassStats.
+type ServeClassStats = serve.ClassStats
+
 // ServeCurvePoint is one offered-load point of a load sweep; see
 // serve.CurvePoint.
 type ServeCurvePoint = serve.CurvePoint
@@ -278,6 +282,19 @@ func ServeRun(cfg Config, s *ServeStream, sch Scheduler, opts RunOptions) (*Serv
 // a latency-vs-throughput curve per scheduler.
 func ServeLoadCurve(cfg Config, classes []ServeClass, schedulers []SchedulerSpec, opts ServeCurveOptions) ([]ServeCurvePoint, error) {
 	return serve.LoadCurve(cfg, classes, schedulers, opts)
+}
+
+// ServePreemptiveAIMT returns the full AI-MT stack with the stream's
+// class priorities driving cross-request preemption: higher-priority
+// requests may halt a lower class's executing compute block via the
+// CB-split path. With uniform priorities it is bit-identical to the
+// plain AI-MT spec.
+func ServePreemptiveAIMT() SchedulerSpec { return serve.PreemptiveAIMT() }
+
+// BuildServeReportShed folds a simulation result into a report where
+// admission control shed some requests; see serve.BuildReportShed.
+func BuildServeReportShed(s *ServeStream, res *Result, shed []bool) *ServeReport {
+	return serve.BuildReportShed(s, res, shed)
 }
 
 // ServeProcess selects a stream's arrival process; see serve.Process.
@@ -320,6 +337,12 @@ type ClusterCurveOptions = cluster.CurveOptions
 // ClusterCurvePoint is one offered-load point of a cluster sweep; see
 // cluster.CurvePoint.
 type ClusterCurvePoint = cluster.CurvePoint
+
+// ClusterControl configures the cluster's overload control plane:
+// SLO-aware admission shedding and elastic autoscaling with
+// hysteresis; see cluster.Control. The zero value disables it and the
+// serve path is bit-identical to the uncontrolled cluster.
+type ClusterControl = cluster.Control
 
 // ClusterPolicies returns every built-in routing policy: round-robin,
 // least-work, class-affinity and deadline.

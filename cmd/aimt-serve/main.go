@@ -22,6 +22,17 @@
 //	aimt-serve -chips 8                     # compare all routing policies
 //	aimt-serve -chips 4 -perchip            # include per-chip breakdowns
 //
+// The overload control plane rides on cluster mode (any of these flags
+// implies it): -admission sheds lowest-priority requests whose
+// predicted completion misses the deadline, -priorities makes the CNN
+// class premium (priority 1) and switches the per-chip scheduler to
+// preemptive AI-MT so premium compute blocks displace batch work, and
+// -autoscale grows the active chip set from 1 toward -chips under
+// sustained backlog (shrinking when it drains):
+//
+//	aimt-serve -chips 2 -admission -priorities -loads 0.8,2,5
+//	aimt-serve -chips 4 -admission -autoscale -priorities
+//
 // With -admin the sweep is observable while it runs: an HTTP server
 // exposes live engine counters and gauges in Prometheus text form,
 // a JSON snapshot with the scheduler decision ledger tail, and pprof:
@@ -58,6 +69,9 @@ type options struct {
 	chips     int
 	route     string
 	perchip   bool
+	admission bool
+	prios     bool
+	autoscale bool
 	admin     string
 	hold      time.Duration
 	ledgerOut string
@@ -79,6 +93,9 @@ func main() {
 	flag.IntVar(&opts.chips, "chips", 1, "simulated cluster size; >1 routes the stream across independent chips")
 	flag.StringVar(&opts.route, "route", "", "comma-separated routing policy subset for cluster mode (empty = all)")
 	flag.BoolVar(&opts.perchip, "perchip", false, "in cluster mode, print per-chip breakdowns for every result")
+	flag.BoolVar(&opts.admission, "admission", false, "SLO-aware admission control: shed lowest-priority requests predicted to miss their deadline (implies cluster mode)")
+	flag.BoolVar(&opts.prios, "priorities", false, "two-band priority mix (CNN premium) with preemptive AI-MT per chip (implies cluster mode)")
+	flag.BoolVar(&opts.autoscale, "autoscale", false, "elastic autoscaling of the active chip set up to -chips (implies cluster mode)")
 	flag.StringVar(&opts.admin, "admin", "", "serve /metrics, /healthz, /debug/snapshot and /debug/pprof/ on this address (e.g. :8080)")
 	flag.DurationVar(&opts.hold, "hold", 0, "with -admin, keep the admin server up this long after the sweep finishes")
 	flag.StringVar(&opts.ledgerOut, "ledger", "", "write the scheduler decision ledger as JSON Lines to this file")
@@ -153,6 +170,9 @@ func run(opts options) error {
 
 	cfg := aimt.PaperConfig()
 	classes := aimt.DefaultServingClasses()
+	if opts.prios {
+		classes[0].Priority = 1
+	}
 
 	sopts := aimt.ServeStreamOptions{Requests: opts.requests, Seed: opts.seed}
 	if strings.EqualFold(opts.process, "bursty") {
@@ -220,16 +240,22 @@ func run(opts options) error {
 		}
 	}
 
-	clusterMode := opts.chips > 1 || opts.route != ""
+	clusterMode := opts.chips > 1 || opts.route != "" ||
+		opts.admission || opts.prios || opts.autoscale
 	if clusterMode {
 		// Cluster mode compares routing policies under one per-chip
-		// scheduler: the first -sched selection, or AI-MT by default.
+		// scheduler: the first -sched selection, or AI-MT by default
+		// (preemptive AI-MT when -priorities is on, so the premium
+		// band can displace executing batch work).
 		spec := schedulers[0]
 		if opts.scheds == "" {
 			for _, s := range schedulers {
 				if s.Name == "AI-MT" {
 					spec = s
 				}
+			}
+			if opts.prios {
+				spec = aimt.ServePreemptiveAIMT()
 			}
 		}
 		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, opts)
@@ -286,6 +312,10 @@ func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerS
 		CheckInvariants: opts.check,
 		Metrics:         reg,
 		Ledger:          led,
+		Control: aimt.ClusterControl{
+			Admission: opts.admission,
+			Autoscale: opts.autoscale,
+		},
 	})
 	if err != nil {
 		return err

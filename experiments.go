@@ -644,6 +644,109 @@ func PrintClusterScale(w io.Writer, cfg Config) error {
 	return flush()
 }
 
+// OverloadLoads are the offered loads swept by the overloadcurve
+// experiment, in full-cluster capacities: 5.0 demands five times what
+// the whole cluster can serve.
+var OverloadLoads = []float64{0.8, 2.0, 3.5, 5.0}
+
+// OverloadChips is the overloadcurve cluster size ceiling the
+// autoscaler may grow into.
+const OverloadChips = 2
+
+// OverloadClasses returns the two-band serving mix of the overload
+// experiments: the CNN class is the premium band (priority 1, never
+// shed by admission control) and the RNN class is the batch band
+// (priority 0, sheddable). Weights keep premium a minority of the
+// offered work so that even at 5x saturation its demand fits within
+// the cluster once batch is shed.
+func OverloadClasses() []ServeClass {
+	classes := DefaultServingClasses()
+	classes[0].Priority = 1
+	classes[0].Weight = 1
+	classes[1].Priority = 0
+	classes[1].Weight = 4
+	return classes
+}
+
+// OverloadPoint is one load point of the overloadcurve experiment.
+type OverloadPoint struct {
+	// Load is the offered load in full-cluster capacities.
+	Load float64
+	// Res is the controlled cluster serving outcome at this load.
+	Res *ClusterResult
+}
+
+// OverloadCurveData sweeps offered load from comfortable to 5x
+// saturation through the full control plane — priority preemption on
+// every chip, SLO-aware admission at the front door, elastic
+// autoscaling between 1 and OverloadChips chips — and returns one
+// point per load. Graceful degradation means the premium band's SLA
+// miss rate stays flat across the sweep while the batch band is shed
+// in growing, predictable proportion.
+func OverloadCurveData(cfg Config) ([]OverloadPoint, error) {
+	classes := OverloadClasses()
+	probe, err := NewServeStream(cfg, classes, ServeStreamOptions{Requests: 1, MeanGap: 1, Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	pol, err := ClusterPolicyByName("least-work")
+	if err != nil {
+		return nil, err
+	}
+	var out []OverloadPoint
+	for _, load := range OverloadLoads {
+		gap := Cycles(probe.MeanService / (load * float64(OverloadChips)))
+		if gap < 1 {
+			gap = 1
+		}
+		stream, err := NewServeStream(cfg, classes, ServeStreamOptions{Requests: 300, MeanGap: gap, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ClusterServe(cfg, stream, ServePreemptiveAIMT(), pol.New(), ClusterOptions{
+			Chips:   OverloadChips,
+			Workers: SweepParallelism(),
+			Control: ClusterControl{Admission: true, Autoscale: true},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("overloadcurve load %.1f: %w", load, err)
+		}
+		out = append(out, OverloadPoint{Load: load, Res: res})
+	}
+	return out, nil
+}
+
+// PrintOverloadCurve renders the overloadcurve experiment: one
+// per-class degradation table per load point, plus the control-plane
+// event counts.
+func PrintOverloadCurve(w io.Writer, cfg Config) error {
+	pts, err := OverloadCurveData(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Overload degradation (extension): admission + priorities + autoscale, %d requests per point, up to %d chips\n",
+		300, OverloadChips); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "load %.1fx: shed %d of %d, scale-ups %d, scale-downs %d, active chips %d\n",
+			p.Load, p.Res.Agg.Shed, p.Res.Agg.Requests, p.Res.ScaleUps, p.Res.ScaleDowns, p.Res.ActiveChips); err != nil {
+			return err
+		}
+		t := metrics.NewTable("class", "prio", "offered", "shed", "served", "miss rate", "p99")
+		for i, cs := range p.Res.Agg.PerClass {
+			t.AddRow(cs.Class, fmt.Sprint(OverloadClasses()[i].Priority),
+				fmt.Sprint(cs.Requests), fmt.Sprint(cs.Shed),
+				fmt.Sprint(cs.Requests-cs.Shed),
+				metrics.Pct(cs.MissRate), fmt.Sprint(cs.P99))
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SpatialData returns, per zoo network, the mean spatial MAC
 // utilization of the weight-stationary mapping — the §VI-B headroom a
 // spatial co-execution extension could reclaim.
@@ -777,6 +880,7 @@ func Experiments() []Experiment {
 		{ID: "serving", Title: "Open-loop serving latency (extension)", Run: PrintServing},
 		{ID: "loadcurve", Title: "Serving load sweep with SLA tracking (extension)", Run: PrintLoadCurve},
 		{ID: "clusterscale", Title: "Cluster scaling: throughput and tail latency vs chip count (extension)", Run: PrintClusterScale},
+		{ID: "overloadcurve", Title: "Overload degradation: admission, priorities and autoscaling under saturation (extension)", Run: PrintOverloadCurve},
 		{ID: "spatial", Title: "Spatial PE utilization headroom (extension)", Run: PrintSpatial},
 	}
 }

@@ -144,3 +144,121 @@ func FuzzStream(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAdmission drives random overload scenarios — arbitrary arrival
+// patterns, priority mixes, cluster sizes and SLO slacks — through the
+// full control plane (admission, preemptive priorities, autoscaling)
+// with the machine-model invariant checker on, and asserts the
+// admission conservation laws: every request is either routed or shed,
+// shed requests only come from the lowest priority band and never
+// appear in any chip's completions, and admitted + shed == offered.
+func FuzzAdmission(f *testing.F) {
+	f.Add([]byte{3, 1, 9}, uint8(1), uint8(1), uint8(4))
+	f.Add([]byte{0}, uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{200, 50, 7, 7, 1}, uint8(2), uint8(2), uint8(11))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(3), uint8(1), uint8(255))
+	f.Fuzz(func(t *testing.T, picks []byte, chipsPick, prioPick, sloPick uint8) {
+		if len(picks) == 0 {
+			return
+		}
+		cfg := scenarioConfig(t, 8)
+		pick := func(i int) byte { return picks[i%len(picks)] }
+		an := NewNetwork("adm-hi", 1, 4, 4)
+		an.FC("f1", int(pick(0)%16)+1)
+		bn := NewNetwork("adm-lo", 2, 4, 4)
+		bn.FC("c1", int(pick(1)%32)+1)
+		bn.FC("c2", 4)
+		anet, err := an.Build()
+		if err != nil {
+			return
+		}
+		bnet, err := bn.Build()
+		if err != nil {
+			return
+		}
+		classes := []ServeClass{
+			{Name: "hi", Net: anet, Weight: float64(pick(2)%3) + 1,
+				Slack: float64(sloPick%6) + 1, Priority: int(prioPick % 3)},
+			{Name: "lo", Net: bnet, Weight: float64(pick(3)%4) + 1,
+				Slack: float64(sloPick%9) + 1},
+		}
+		var seed int64
+		for _, b := range picks {
+			seed = seed*31 + int64(b)
+		}
+		process := ServePoisson
+		if pick(4)%2 == 1 {
+			process = ServeBursty
+		}
+		stream, err := NewServeStream(cfg, classes, ServeStreamOptions{
+			Requests: int(pick(5)%48) + 8,
+			MeanGap:  Cycles(pick(6)%200) + 1,
+			Process:  process,
+			Seed:     seed,
+		})
+		if err != nil {
+			return
+		}
+		chips := int(chipsPick%4) + 1
+		pols := ClusterPolicies()
+		pol := pols[int(pick(7))%len(pols)]
+		res, err := ClusterServe(cfg, stream, ServePreemptiveAIMT(), pol.New(), ClusterOptions{
+			Chips:           chips,
+			CheckInvariants: true,
+			Control: ClusterControl{
+				Admission: true,
+				Autoscale: pick(8)%2 == 1,
+				MinChips:  int(pick(9)) % (chips + 1),
+				Patience:  int(pick(10) % 16),
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s x%d: %v", pol.Name, chips, err)
+		}
+		offered := len(stream.Nets)
+		minPrio := stream.ClassPriority[0]
+		for _, p := range stream.ClassPriority[1:] {
+			if p < minPrio {
+				minPrio = p
+			}
+		}
+		perChip := make([]int, chips)
+		shed := 0
+		for i, c := range res.Assignment {
+			if res.Shed[i] != (c == -1) {
+				t.Fatalf("request %d: shed=%v but chip %d", i, res.Shed[i], c)
+			}
+			if res.Shed[i] {
+				shed++
+				if p := stream.ClassPriority[stream.ClassOf[i]]; p != minPrio {
+					t.Fatalf("request %d of priority %d shed; lowest band is %d", i, p, minPrio)
+				}
+				continue
+			}
+			if c < 0 || c >= chips {
+				t.Fatalf("request %d on invalid chip %d of %d", i, c, chips)
+			}
+			perChip[c]++
+		}
+		if shed != res.ShedCount {
+			t.Fatalf("shed mask counts %d, result says %d", shed, res.ShedCount)
+		}
+		admitted := 0
+		for c, cr := range res.ChipResults {
+			n := 0
+			if cr != nil {
+				n = len(cr.NetFinish)
+			}
+			if n != perChip[c] {
+				t.Fatalf("chip %d completed %d, routed %d", c, n, perChip[c])
+			}
+			admitted += n
+		}
+		if admitted+res.ShedCount != offered {
+			t.Fatalf("admitted %d + shed %d != offered %d", admitted, res.ShedCount, offered)
+		}
+		if got := int(res.Agg.Latency.Count()) + res.Agg.Shed; got != offered {
+			t.Fatalf("report served %d + shed %d != offered %d", res.Agg.Latency.Count(), res.Agg.Shed, offered)
+		}
+	})
+}

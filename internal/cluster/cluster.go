@@ -52,8 +52,13 @@ type Options struct {
 
 	// Ledger, when non-nil, records every chip scheduler's decisions
 	// (interleaved across chips; entries carry chip-local network
-	// indices).
+	// indices) plus the control plane's shed and scale decisions.
 	Ledger *obs.Ledger
+
+	// Control configures the overload control plane (admission
+	// shedding, elastic autoscaling). The zero value disables it and
+	// Serve takes the plain Dispatch path unchanged.
+	Control Control
 }
 
 // Result is one policy's cluster serving outcome.
@@ -87,6 +92,17 @@ type Result struct {
 	// chip's share of PE work over the mean share, minus one
 	// (metrics.Imbalance; 0 = perfectly balanced).
 	Imbalance float64
+
+	// Shed marks requests dropped by admission control (Assignment -1);
+	// nil when the control plane is off. ShedCount totals them.
+	Shed      []bool
+	ShedCount int
+
+	// ScaleUps and ScaleDowns count the elastic autoscaler's active-set
+	// changes during dispatch; ActiveChips is the active set size when
+	// dispatch finished (== Chips with the control plane off).
+	ScaleUps, ScaleDowns int
+	ActiveChips          int
 }
 
 // Dispatch routes every request of the stream to a chip under the
@@ -114,6 +130,9 @@ func Dispatch(s *serve.Stream, pol Policy, chips int) ([]int, error) {
 		if r.Class < len(s.ClassService) {
 			r.Service = s.ClassService[r.Class]
 		}
+		if r.Class < len(s.ClassPriority) {
+			r.Priority = s.ClassPriority[r.Class]
+		}
 		c := pol.Pick(v, r)
 		if c < 0 || c >= chips {
 			return nil, fmt.Errorf("cluster: policy %s routed request %d to chip %d, want [0,%d)", pol.Name(), i, c, chips)
@@ -132,13 +151,27 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 	if chips <= 0 {
 		chips = 1
 	}
-	assign, err := Dispatch(s, pol, chips)
+	var (
+		assign []int
+		shed   []bool
+		st     ctlStats
+		err    error
+	)
+	if opts.Control.enabled() {
+		assign, shed, st, err = dispatchControlled(s, pol, chips, opts.Control, opts.Ledger)
+	} else {
+		assign, err = Dispatch(s, pol, chips)
+		st.active = chips
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	perChip := make([][]int, chips)
 	for i, c := range assign {
+		if c < 0 {
+			continue // shed at the front door, never reached a chip
+		}
 		perChip[c] = append(perChip[c], i)
 	}
 
@@ -183,6 +216,11 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		Assignment:  assign,
 		PerChip:     make([]*serve.Report, chips),
 		ChipResults: make([]*sim.Result, chips),
+		Shed:        shed,
+		ShedCount:   st.shedCount,
+		ScaleUps:    st.scaleUps,
+		ScaleDowns:  st.scaleDowns,
+		ActiveChips: st.active,
 	}
 
 	// Merge the chip results into one stream-indexed result so the
@@ -221,7 +259,7 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		}
 	}
 
-	agg := serve.BuildReport(s, merged)
+	agg := serve.BuildReportShed(s, merged, shed)
 	agg.Scheduler = spec.Name
 	if merged.Makespan > 0 {
 		// Aggregate utilization is total busy work over chips x cluster
@@ -255,6 +293,12 @@ func (r *Result) publish(reg *obs.Registry, utils []float64) {
 	reg.Counter(pl("aimt_cluster_requests_total")).Add(int64(len(r.Assignment)))
 	reg.Counter(pl("aimt_cluster_sla_misses_total")).Add(int64(r.Agg.Misses))
 	reg.Gauge(pl("aimt_cluster_imbalance")).Set(r.Imbalance)
+	if r.Shed != nil {
+		reg.Counter(pl("aimt_cluster_shed_total")).Add(int64(r.ShedCount))
+		reg.Counter(pl("aimt_cluster_scale_ups_total")).Add(int64(r.ScaleUps))
+		reg.Counter(pl("aimt_cluster_scale_downs_total")).Add(int64(r.ScaleDowns))
+		reg.Gauge(pl("aimt_cluster_active_chips")).Set(float64(r.ActiveChips))
+	}
 	for c, rep := range r.PerChip {
 		ch := func(name string) string { return obs.Label(name, "chip", strconv.Itoa(c)) }
 		reg.Gauge(ch("aimt_cluster_chip_requests")).Set(float64(rep.Requests))
@@ -291,6 +335,10 @@ type CurveOptions struct {
 	// cluster run of the sweep; see Options.
 	Metrics *obs.Registry
 	Ledger  *obs.Ledger
+
+	// Control configures the overload control plane for every run of
+	// the sweep; the zero value disables it.
+	Control Control
 }
 
 // CurvePoint is one offered-load point of a cluster load sweep: the
@@ -354,6 +402,7 @@ func LoadCurve(cfg arch.Config, classes []serve.Class, spec serve.SchedulerSpec,
 				CheckInvariants: opts.CheckInvariants,
 				Metrics:         opts.Metrics,
 				Ledger:          opts.Ledger,
+				Control:         opts.Control,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("cluster: %s at gap %d: %w", pspec.Name, gap, err)

@@ -25,6 +25,12 @@ type Request struct {
 	// Service is the class's isolated service estimate — the unit of
 	// outstanding work the dispatcher accounts per routed request.
 	Service arch.Cycles
+
+	// Priority is the request class's scheduling priority (higher is
+	// more urgent; see serve.Class.Priority). Routing policies ignore
+	// it; the control plane's admission check sheds only the lowest
+	// band.
+	Priority int
 }
 
 // View is the dispatcher state a routing policy may consult: per-chip

@@ -96,6 +96,17 @@ type AIMT struct {
 	// unchanged — deadline priority costs no overlap.
 	deadlines []arch.Cycles
 
+	// prios, when set, enables strict priority classes with
+	// cross-request preemption (the serving control plane): candidate
+	// scanning prefers higher-priority networks, ready compute blocks
+	// of a higher class run before lower ones, and a high-priority
+	// arrival may halt a low-priority executing block by reusing the
+	// CB-split mechanism (the halt/resume path eviction already
+	// exercises). Uniform priorities are normalized to nil at
+	// SetPreemptPriorities so the control plane is a strict no-op when
+	// every class is equal.
+	prios []int
+
 	// reserving notes that a capacity-critical memory block is blocked
 	// on SRAM space and the scheduler is holding capacity for it:
 	// non-critical blocks stop issuing and the smallest compute blocks
@@ -215,6 +226,40 @@ func (a *AIMT) SetDeadlines(deadlines []arch.Cycles) *AIMT {
 	return a
 }
 
+// SetPreemptPriorities enables strict priority classes with
+// cross-request preemption: prios[i] is network instance i's priority
+// (higher is more urgent; missing entries default to 0). Higher
+// classes are scanned first, their ready compute blocks run first,
+// and an arrival of a strictly higher class may halt a lower class's
+// executing compute block via the CB-split mechanism — the halted
+// remainder resumes later with the usual PE refill penalty. Nil or
+// uniform priorities restore the fair rotation exactly (the control
+// plane is a strict no-op when off). It returns the scheduler for
+// chaining.
+func (a *AIMT) SetPreemptPriorities(prios []int) *AIMT {
+	uniform := true
+	for _, p := range prios {
+		if p != prios[0] {
+			uniform = false
+			break
+		}
+	}
+	if len(prios) == 0 || uniform {
+		a.prios = nil
+		return a
+	}
+	a.prios = prios
+	a.name += "+Prio"
+	return a
+}
+
+func (a *AIMT) prio(net int) int {
+	if net < len(a.prios) {
+		return a.prios[net]
+	}
+	return 0
+}
+
 func (a *AIMT) deadline(net int) arch.Cycles {
 	if net < len(a.deadlines) && a.deadlines[net] > 0 {
 		return a.deadlines[net]
@@ -317,6 +362,11 @@ func (a *AIMT) underPressure(v *sim.View) bool {
 // PickMB implements Algorithm 2's memory-block selection plus the
 // eviction priority of §IV-C.
 func (a *AIMT) PickMB(v *sim.View) (sim.MBRef, bool) {
+	// Cross-request preemption first: the engine applies a granted
+	// split request immediately after this pick returns, so this is
+	// the spot where a high-priority arrival can displace a
+	// low-priority executing block.
+	a.maybePreempt(v)
 	a.mbs = v.MBCandidates(a.mbs[:0])
 	if len(a.mbs) == 0 {
 		a.reserving = false
@@ -367,6 +417,16 @@ func (a *AIMT) PickMB(v *sim.View) (sim.MBRef, bool) {
 // networks need.
 func (a *AIMT) rotateMBs(v *sim.View) {
 	if len(a.mbs) < 2 {
+		return
+	}
+	if a.prios != nil {
+		sort.SliceStable(a.mbs, func(i, j int) bool {
+			hi, hj := !v.HostInputDone(a.mbs[i].Net), !v.HostInputDone(a.mbs[j].Net)
+			if hi != hj {
+				return hj // arrived inputs first
+			}
+			return a.prio(a.mbs[i].Net) > a.prio(a.mbs[j].Net)
+		})
 		return
 	}
 	if a.deadlines != nil {
@@ -522,11 +582,56 @@ func (a *AIMT) maybeSplit(v *sim.View) {
 	}
 }
 
+// maybePreempt requests a CB split when a strictly higher-priority
+// network has a ready compute block while a lower-priority one
+// executes with substantial work left — the serving control plane's
+// cross-request preemption, reusing the halt/resume path. The split
+// the engine applies is recorded as usual; the preemption decision
+// itself is attributed through NotePreemption.
+func (a *AIMT) maybePreempt(v *sim.View) {
+	if a.prios == nil {
+		return
+	}
+	cur, remaining, ok := v.ExecutingCB()
+	if !ok || remaining < a.splitMinRemaining {
+		return
+	}
+	curP := a.prio(cur.Net)
+	a.cbs = v.ReadyCBs(a.cbs[:0])
+	for _, c := range a.cbs {
+		if c.Net != cur.Net && a.prio(c.Net) > curP {
+			if v.RequestSplit() {
+				v.NotePreemption(cur)
+			}
+			return
+		}
+	}
+}
+
 // PickCB implements the compute side: the CB selected queue executes
 // in order (the engine waits on its head if the weights are still in
 // flight); when it is empty, ready compute blocks run directly —
-// smallest first under SRAM pressure, round-robin otherwise.
+// smallest first under SRAM pressure, round-robin otherwise. With
+// priority classes active, the highest-priority ready block runs
+// first, falling back to the selected queue's discipline on ties.
 func (a *AIMT) PickCB(v *sim.View) (sim.CBRef, bool) {
+	if a.prios != nil {
+		a.cbs = v.ReadyCBs(a.cbs[:0])
+		var pick sim.CBRef
+		found := false
+		for _, c := range a.cbs {
+			if !found || a.prio(c.Net) > a.prio(pick.Net) {
+				pick, found = c, true
+			}
+		}
+		if len(a.sq) > 0 && (!found || a.prio(a.sq[0].Net) >= a.prio(pick.Net)) {
+			return a.sq[0], true
+		}
+		if found {
+			return pick, true
+		}
+		return sim.CBRef{}, false
+	}
 	if len(a.sq) > 0 {
 		return a.sq[0], true
 	}

@@ -25,6 +25,19 @@ const (
 	KindEarlyEvict = "early-evict"
 	// KindCBSplit is one halted compute block (the paper's CB split).
 	KindCBSplit = "cb-split"
+	// KindPreempt is one priority preemption: the scheduler requested a
+	// CB split so a higher-priority request's ready compute block can
+	// displace a lower-priority executing one (serving control plane).
+	KindPreempt = "preempt"
+	// KindShed is one admission-control decision: the cluster
+	// dispatcher predicted the request could not meet its deadline on
+	// any active chip and dropped it instead of routing it.
+	KindShed = "admission-shed"
+	// KindScaleUp and KindScaleDown are elastic-autoscaler set changes:
+	// the dispatcher grew or shrank the active chip set. Detail carries
+	// the new active chip count.
+	KindScaleUp   = "scale-up"
+	KindScaleDown = "scale-down"
 )
 
 // Stall attribution: which resource bounded the machine at the moment

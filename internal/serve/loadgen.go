@@ -40,6 +40,14 @@ type Class struct {
 
 	// Batch is the per-request batch size; zero means 1.
 	Batch int
+
+	// Priority is the class's scheduling priority for the overload
+	// control plane: higher is more urgent. Requests of a strictly
+	// higher class may preempt executing lower-class work on chip, and
+	// admission control sheds only the lowest band when saturated.
+	// Uniform priorities (including the zero default everywhere)
+	// disable priority effects entirely.
+	Priority int
 }
 
 // DefaultSlack is the deadline multiplier applied to a class's
@@ -123,6 +131,7 @@ type compiledClass struct {
 	net     *compiler.CompiledNetwork
 	slack   float64
 	service arch.Cycles // isolated service estimate
+	prio    int
 }
 
 // Stream is a generated open-loop request stream ready to simulate:
@@ -152,6 +161,10 @@ type Stream struct {
 	// indexed like Classes — the unit of outstanding work a cluster
 	// dispatcher accounts per routed request.
 	ClassService []arch.Cycles
+
+	// ClassPriority gives each class's scheduling priority, indexed
+	// like Classes (higher is more urgent; see Class.Priority).
+	ClassPriority []int
 
 	// MeanService is the weight-averaged isolated service estimate of
 	// one request, the numerator of offered load.
@@ -183,6 +196,19 @@ func (s *Stream) NetClasses() []string {
 	return out
 }
 
+// NetPriorities returns the per-request class priorities, indexed like
+// Nets — the shape core.AIMT.SetPreemptPriorities expects for
+// cross-request preemption.
+func (s *Stream) NetPriorities() []int {
+	out := make([]int, len(s.ClassOf))
+	for i, ci := range s.ClassOf {
+		if ci < len(s.ClassPriority) {
+			out[i] = s.ClassPriority[ci]
+		}
+	}
+	return out
+}
+
 // SubStream returns the stream restricted to the given request
 // indices, which must be ascending and in range. Arrival order (and
 // therefore the non-decreasing arrival invariant) is preserved, so the
@@ -192,15 +218,16 @@ func (s *Stream) NetClasses() []string {
 // slices are fresh copies.
 func (s *Stream) SubStream(name string, indices []int) *Stream {
 	sub := &Stream{
-		Name:         name,
-		Classes:      s.Classes,
-		ClassService: s.ClassService,
-		MeanService:  s.MeanService,
-		MeanGap:      s.MeanGap,
-		Nets:         make([]*compiler.CompiledNetwork, len(indices)),
-		Arrivals:     make([]arch.Cycles, len(indices)),
-		Deadlines:    make([]arch.Cycles, len(indices)),
-		ClassOf:      make([]int, len(indices)),
+		Name:          name,
+		Classes:       s.Classes,
+		ClassService:  s.ClassService,
+		ClassPriority: s.ClassPriority,
+		MeanService:   s.MeanService,
+		MeanGap:       s.MeanGap,
+		Nets:          make([]*compiler.CompiledNetwork, len(indices)),
+		Arrivals:      make([]arch.Cycles, len(indices)),
+		Deadlines:     make([]arch.Cycles, len(indices)),
+		ClassOf:       make([]int, len(indices)),
 	}
 	for i, gi := range indices {
 		sub.Nets[i] = s.Nets[gi]
@@ -255,7 +282,7 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 		if err != nil {
 			return nil, fmt.Errorf("serve: class %q: %w", c.Net.Name, err)
 		}
-		cc := compiledClass{name: c.Name, net: cn, slack: c.Slack}
+		cc := compiledClass{name: c.Name, net: cn, slack: c.Slack, prio: c.Priority}
 		if cc.name == "" {
 			cc.name = c.Net.Name
 		}
@@ -283,6 +310,7 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 	for _, cc := range compiled {
 		s.Classes = append(s.Classes, cc.name)
 		s.ClassService = append(s.ClassService, cc.service)
+		s.ClassPriority = append(s.ClassPriority, cc.prio)
 	}
 
 	var t arch.Cycles

@@ -17,11 +17,19 @@ import (
 type ClassStats struct {
 	// Class is the class name.
 	Class string
-	// Requests is the number of requests of this class in the stream.
+	// Requests is the number of requests of this class in the stream,
+	// shed ones included.
 	Requests int
-	// Misses is how many finished after their deadline.
+	// Shed is how many were dropped by admission control before
+	// reaching a chip.
+	Shed int
+	// Misses is how many served requests finished after their deadline.
 	Misses int
-	// P99 is the class's 99th-percentile latency.
+	// MissRate is Misses over served (admitted) requests. A class that
+	// is entirely shed has no served requests; its row is zero-valued
+	// rather than dividing by zero.
+	MissRate float64
+	// P99 is the class's 99th-percentile latency over served requests.
 	P99 arch.Cycles
 }
 
@@ -49,9 +57,13 @@ type Report struct {
 	P50, P95, P99, P999 arch.Cycles
 
 	// Misses counts requests that finished after their deadline;
-	// MissRate is Misses over Requests.
+	// MissRate is Misses over served requests.
 	Misses   int
 	MissRate float64
+
+	// Shed counts requests dropped by admission control; they are
+	// excluded from the latency distribution and the miss counts.
+	Shed int
 
 	// PEUtil and MemUtil are engine busy fractions over the makespan.
 	PEUtil, MemUtil float64
@@ -69,6 +81,17 @@ func (r *Report) Attainment() float64 { return 1 - r.MissRate }
 // requests (Serve does this internally; the cluster layer calls it on
 // per-chip sub-streams and on the merged cluster result).
 func BuildReport(s *Stream, res *sim.Result) *Report {
+	return BuildReportShed(s, res, nil)
+}
+
+// BuildReportShed is BuildReport for a run where admission control
+// dropped some requests: shed[i], when true, marks request i as shed —
+// it counts toward its class's offered requests and the shed totals,
+// but contributes no latency sample and no SLA miss. A nil shed is
+// equivalent to BuildReport. A class whose requests were all shed gets
+// a zero-valued row (no miss rate, no quantiles) rather than dividing
+// by its zero served count.
+func BuildReportShed(s *Stream, res *sim.Result, shed []bool) *Report {
 	r := &Report{
 		Scheduler: res.Scheduler,
 		Requests:  len(s.Nets),
@@ -82,12 +105,18 @@ func BuildReport(s *Stream, res *sim.Result) *Report {
 		perClass[i].Class = s.Classes[i]
 	}
 	for i := range s.Nets {
+		ci := s.ClassOf[i]
+		if i < len(shed) && shed[i] {
+			r.Shed++
+			perClass[ci].Requests++
+			perClass[ci].Shed++
+			continue
+		}
 		if i >= len(res.NetFinish) || i >= len(res.NetArrive) {
 			break
 		}
 		lat := res.NetFinish[i] - res.NetArrive[i]
 		r.Latency.Record(lat)
-		ci := s.ClassOf[i]
 		perClass[ci].Requests++
 		classHist[ci].Record(lat)
 		if res.NetFinish[i] > s.Deadlines[i] {
@@ -97,6 +126,9 @@ func BuildReport(s *Stream, res *sim.Result) *Report {
 	}
 	for i := range perClass {
 		perClass[i].P99 = classHist[i].Quantile(99)
+		if served := perClass[i].Requests - perClass[i].Shed; served > 0 {
+			perClass[i].MissRate = float64(perClass[i].Misses) / float64(served)
+		}
 	}
 	r.PerClass = perClass
 	r.P50 = r.Latency.Quantile(50)
@@ -125,10 +157,16 @@ func (r *Report) Publish(reg *obs.Registry) {
 	sl := func(name string) string { return obs.Label(name, "scheduler", r.Scheduler) }
 	reg.Counter(sl("aimt_serve_requests_total")).Add(int64(r.Requests))
 	reg.Counter(sl("aimt_serve_sla_misses_total")).Add(int64(r.Misses))
+	if r.Shed > 0 {
+		reg.Counter(sl("aimt_serve_shed_total")).Add(int64(r.Shed))
+	}
 	for _, cs := range r.PerClass {
 		cl := func(name string) string { return obs.Label(sl(name), "class", cs.Class) }
 		reg.Counter(cl("aimt_serve_class_requests_total")).Add(int64(cs.Requests))
 		reg.Counter(cl("aimt_serve_class_sla_misses_total")).Add(int64(cs.Misses))
+		if cs.Shed > 0 {
+			reg.Counter(cl("aimt_serve_class_shed_total")).Add(int64(cs.Shed))
+		}
 		reg.Gauge(cl("aimt_serve_class_p99_cycles")).Set(float64(cs.P99))
 	}
 	reg.Gauge(sl("aimt_serve_p50_cycles")).Set(float64(r.P50))
@@ -178,6 +216,21 @@ func StandardSchedulers() []SchedulerSpec {
 		{Name: "PREMA", New: func(arch.Config, *Stream) sim.Scheduler { return sched.NewPREMA(nil) }},
 		{Name: "AI-MT", New: func(cfg arch.Config, _ *Stream) sim.Scheduler { return core.New(cfg, core.All()) }},
 		{Name: "EDF", New: func(_ arch.Config, s *Stream) sim.Scheduler { return sched.NewEDF(s.Deadlines) }},
+	}
+}
+
+// PreemptiveAIMT returns the full AI-MT mechanism stack with the
+// stream's class priorities driving cross-request preemption: a
+// higher-priority request's ready compute blocks displace a
+// lower-priority executing one via the CB-split path. With uniform
+// class priorities the scheduler is bit-identical to the plain AI-MT
+// spec.
+func PreemptiveAIMT() SchedulerSpec {
+	return SchedulerSpec{
+		Name: "AI-MT+Prio",
+		New: func(cfg arch.Config, s *Stream) sim.Scheduler {
+			return core.New(cfg, core.All()).SetPreemptPriorities(s.NetPriorities())
+		},
 	}
 }
 

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -289,5 +291,55 @@ func TestSubStream(t *testing.T) {
 	// A sub-stream must be servable as-is.
 	if _, err := Serve(cfg, so, sched.NewFIFO(), sim.Options{CheckInvariants: true}); err != nil {
 		t.Fatalf("serving sub-stream: %v", err)
+	}
+}
+
+// TestReportFullyShedClassZeroRow is the regression test for the
+// empty-class guard: a class whose requests were all shed by admission
+// control must get a zero-valued per-class row (no NaN miss rate from
+// a zero served count), and shed requests must stay out of the latency
+// distribution while conservation (served + shed == offered) holds.
+func TestReportFullyShedClassZeroRow(t *testing.T) {
+	cfg := testConfig(t)
+	s, err := NewStream(cfg, DefaultClasses(), StreamOptions{Requests: 64, MeanGap: 30_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg, s.Nets, sched.NewFIFO(), sim.Options{Arrivals: s.Arrivals, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed := make([]bool, len(s.Nets))
+	for i, ci := range s.ClassOf {
+		if s.Classes[ci] == "rnn" {
+			shed[i] = true
+		}
+	}
+	rep := BuildReportShed(s, res, shed)
+	var sawRNN bool
+	for _, c := range rep.PerClass {
+		if math.IsNaN(c.MissRate) {
+			t.Errorf("class %s: miss rate is NaN", c.Class)
+		}
+		if c.Class != "rnn" {
+			continue
+		}
+		sawRNN = true
+		if c.Requests == 0 || c.Shed != c.Requests {
+			t.Errorf("rnn row: %d/%d shed, want a fully shed non-empty class", c.Shed, c.Requests)
+		}
+		if c.Misses != 0 || c.MissRate != 0 || c.P99 != 0 {
+			t.Errorf("fully shed class row not zero-valued: %+v", c)
+		}
+	}
+	if !sawRNN {
+		t.Fatal("no rnn row in the report")
+	}
+	if got := rep.Shed + int(rep.Latency.Count()); got != rep.Requests {
+		t.Errorf("served %d + shed %d != offered %d", rep.Latency.Count(), rep.Shed, rep.Requests)
+	}
+	// A nil shed slice is exactly the plain report.
+	if !reflect.DeepEqual(BuildReportShed(s, res, nil), BuildReport(s, res)) {
+		t.Error("BuildReportShed(nil) differs from BuildReport")
 	}
 }

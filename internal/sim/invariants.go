@@ -33,7 +33,13 @@ var ErrInvariant = errors.New("sim: machine invariant violated")
 //  6. the incrementally maintained candidate frontiers agree with a
 //     brute-force rescan: MBCandidates, ReadyCBs, SelectableCBs and
 //     AvailableCBCycles equal the reference full-scan results after
-//     every state transition (see frontier.go).
+//     every state transition (see frontier.go);
+//  7. halts and resumes pair up: a compute block that starts with less
+//     than its full work must be the resume of exactly the outstanding
+//     halted remainder (plus the refill penalty), and each halt is
+//     resumed at most once — a stray or double-inflated remnant
+//     (resume without halt, double resume) fires here, at the start,
+//     rather than surfacing later as family 5's conservation residue.
 type checker struct {
 	v    *View
 	fill arch.Cycles
@@ -77,6 +83,12 @@ type layerShadow struct {
 	// (possibly split) compute block; resumes counts its halts.
 	executed arch.Cycles
 	resumes  int
+
+	// halted and remaining track the outstanding halt (invariant 7): a
+	// split sets them, the matching resume clears them, and any start
+	// whose work disagrees with them is a broken halt/resume pairing.
+	halted    bool
+	remaining arch.Cycles
 }
 
 func newChecker(v *View) *checker {
@@ -179,6 +191,16 @@ func (c *checker) cbStart(r CBRef, work arch.Cycles) error {
 				r, d, ns.layers[d].cbDone, c.v.nets[r.Net].cn.Layers[d].Iters)
 		}
 	}
+	if sh.halted {
+		if work != sh.remaining+c.fill {
+			return c.violate("CB %+v resumed with %d cycles, want halted remainder %d + refill %d",
+				r, work, sh.remaining, c.fill)
+		}
+		sh.halted, sh.remaining = false, 0
+	} else if work != l.CBCycles {
+		return c.violate("CB %+v started with %d cycles but no halt is outstanding (full block is %d): resume without halt",
+			r, work, l.CBCycles)
+	}
 	c.peInFlight = true
 	return nil
 }
@@ -251,6 +273,7 @@ func (c *checker) cbSplit(r CBRef, start, end, remaining arch.Cycles) error {
 		return c.violate("CB %+v split: executed %d + remaining %d != %d (work not conserved)",
 			r, sh.executed, remaining, want)
 	}
+	sh.halted, sh.remaining = true, remaining
 	c.splitCount++
 	return nil
 }

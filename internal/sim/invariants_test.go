@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"aimt/internal/arch"
@@ -119,6 +120,110 @@ func TestInvariantCatchesSplitWorkLoss(t *testing.T) {
 	}
 }
 
+// ghostResume fabricates a halted remainder that never came from a
+// split: after a compute block completes it plants a remnant, so the
+// layer's next block starts as the resume of a halt that never
+// happened — a broken preemption path the halt/resume pairing family
+// must catch.
+type ghostResume struct {
+	NopHooks
+	planted bool
+}
+
+func (*ghostResume) Name() string { return "ghost-resume" }
+
+func (g *ghostResume) PickMB(v *View) (MBRef, bool) {
+	for _, m := range v.MBCandidates(nil) {
+		if v.IsMBIssuable(m) {
+			return m, true
+		}
+	}
+	return MBRef{}, false
+}
+
+func (g *ghostResume) PickCB(v *View) (CBRef, bool) {
+	cbs := v.ReadyCBs(nil)
+	if len(cbs) == 0 {
+		return CBRef{}, false
+	}
+	return cbs[0], true
+}
+
+func (g *ghostResume) OnCBDone(v *View, r CBRef) {
+	// The sabotage: plant a remnant for the layer's next sub-layer
+	// without any halt having occurred.
+	if !g.planted && r.Iter+1 < v.nets[r.Net].cn.Layers[r.Layer].Iters {
+		v.nets[r.Net].remnant[r.Layer] = 17
+		g.planted = true
+	}
+}
+
+func TestInvariantCatchesResumeWithoutHalt(t *testing.T) {
+	cfg := testConfig(t)
+	cn := chainNet("n", cfg, layerSpec{mb: 10, cb: 50, iters: 3, blocks: 1})
+	_, err := Run(cfg, []*compiler.CompiledNetwork{cn}, &ghostResume{}, Options{CheckInvariants: true})
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("err = %v, want ErrInvariant (resume without halt)", err)
+	}
+}
+
+// doubleResumer splits once legitimately, lets the resume complete,
+// then replays the consumed remainder so a second, unearned resume of
+// the same halt is attempted on the layer's next block.
+type doubleResumer struct {
+	NopHooks
+	split    bool
+	saved    arch.Cycles
+	replayed bool
+}
+
+func (*doubleResumer) Name() string { return "double-resumer" }
+
+func (d *doubleResumer) PickMB(v *View) (MBRef, bool) {
+	for _, m := range v.MBCandidates(nil) {
+		if v.IsMBIssuable(m) {
+			return m, true
+		}
+	}
+	return MBRef{}, false
+}
+
+func (d *doubleResumer) PickCB(v *View) (CBRef, bool) {
+	cbs := v.ReadyCBs(nil)
+	if len(cbs) == 0 {
+		return CBRef{}, false
+	}
+	return cbs[0], true
+}
+
+func (d *doubleResumer) OnMBDone(v *View, r MBRef) {
+	if !d.split && v.RequestSplit() {
+		d.split = true
+	}
+}
+
+func (d *doubleResumer) OnCBSplit(v *View, r CBRef, remaining arch.Cycles) {
+	d.saved = remaining
+}
+
+func (d *doubleResumer) OnCBDone(v *View, r CBRef) {
+	// The sabotage: resurrect the already-consumed halt remainder so
+	// the next block resumes a halt that was already resumed.
+	if d.saved > 0 && !d.replayed && r.Iter+1 < v.nets[r.Net].cn.Layers[r.Layer].Iters {
+		v.nets[r.Net].remnant[r.Layer] = d.saved
+		d.replayed = true
+	}
+}
+
+func TestInvariantCatchesDoubleResume(t *testing.T) {
+	cfg := testConfig(t)
+	cn := chainNet("n", cfg, layerSpec{mb: 5, cb: 50, iters: 3, blocks: 1})
+	_, err := Run(cfg, []*compiler.CompiledNetwork{cn}, &doubleResumer{}, Options{CheckInvariants: true})
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("err = %v, want ErrInvariant (double resume)", err)
+	}
+}
+
 // leakyConsumer completes compute blocks but skips returning their
 // SRAM blocks — emulating an allocator leak the checker must notice
 // when the event-stream occupancy disagrees with the buffer.
@@ -230,6 +335,84 @@ func TestCheckerUnits(t *testing.T) {
 		}
 		if err := c.cbStart(CBRef{}, 5); !errors.Is(err, ErrInvariant) {
 			t.Errorf("err = %v, want ErrInvariant", err)
+		}
+	})
+
+	// prime fetches the first sub-layer so a CB may start (invariant 7
+	// subtests below share it).
+	prime := func(t *testing.T, c *checker) {
+		t.Helper()
+		c.hostIn(0)
+		if err := c.mbIssue(MBRef{}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbDone(MBRef{}, 0, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("resume-without-halt", func(t *testing.T) {
+		c := mkChecker()
+		prime(t, c)
+		// A short start with no outstanding halt is a fabricated resume.
+		err := c.cbStart(CBRef{}, 3)
+		if !errors.Is(err, ErrInvariant) {
+			t.Fatalf("err = %v, want ErrInvariant", err)
+		}
+		if !strings.Contains(err.Error(), "resume without halt") {
+			t.Errorf("err = %v, want the halt/resume pairing family to fire", err)
+		}
+	})
+
+	t.Run("wrong-resume-remainder", func(t *testing.T) {
+		c := mkChecker()
+		prime(t, c)
+		if err := c.cbStart(CBRef{}, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.cbSplit(CBRef{}, 0, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+		// The resume must carry exactly remainder + refill.
+		err := c.cbStart(CBRef{}, 3+c.fill+1)
+		if !errors.Is(err, ErrInvariant) {
+			t.Fatalf("err = %v, want ErrInvariant", err)
+		}
+		if !strings.Contains(err.Error(), "want halted remainder") {
+			t.Errorf("err = %v, want the halt/resume pairing family to fire", err)
+		}
+	})
+
+	t.Run("double-resume", func(t *testing.T) {
+		c := mkChecker()
+		prime(t, c)
+		if err := c.cbStart(CBRef{}, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.cbSplit(CBRef{}, 0, 1, 4); err != nil {
+			t.Fatal(err)
+		}
+		// One legitimate resume consumes the halt...
+		if err := c.cbStart(CBRef{}, 4+c.fill); err != nil {
+			t.Fatalf("legitimate resume rejected: %v", err)
+		}
+		if err := c.cbDone(CBRef{}, 1, 1+4+c.fill, 1); err != nil {
+			t.Fatal(err)
+		}
+		// ...so a second resume-shaped start on the next sub-layer has
+		// no halt left to pair with.
+		if err := c.mbIssue(MBRef{Iter: 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.mbDone(MBRef{Iter: 1}, 20, 30); err != nil {
+			t.Fatal(err)
+		}
+		err := c.cbStart(CBRef{Iter: 1}, 4+c.fill)
+		if !errors.Is(err, ErrInvariant) {
+			t.Fatalf("err = %v, want ErrInvariant", err)
+		}
+		if !strings.Contains(err.Error(), "resume without halt") {
+			t.Errorf("err = %v, want the halt/resume pairing family to fire", err)
 		}
 	})
 }

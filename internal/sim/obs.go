@@ -20,6 +20,7 @@ type simObs struct {
 	merges     *obs.Counter // CBs claimed ahead of execution
 	evictions  *obs.Counter // early-eviction capacity reservations
 	splits     *obs.Counter // halted compute blocks
+	preempts   *obs.Counter // priority preemption split requests
 	mbDone     *obs.Counter
 	cbDone     *obs.Counter
 	netsDone   *obs.Counter
@@ -54,6 +55,7 @@ func newSimObs(reg *obs.Registry, classes []string, numNets int) *simObs {
 		merges:     reg.Counter("aimt_sim_cb_merge_total"),
 		evictions:  reg.Counter("aimt_sim_evictions_total"),
 		splits:     reg.Counter("aimt_sim_cb_splits_total"),
+		preempts:   reg.Counter("aimt_sim_preempt_total"),
 		mbDone:     reg.Counter("aimt_sim_mb_completed_total"),
 		cbDone:     reg.Counter("aimt_sim_cb_completed_total"),
 		netsDone:   reg.Counter("aimt_sim_nets_finished_total"),
@@ -155,4 +157,26 @@ func (v *View) NoteEviction(r MBRef) {
 	}
 	l := v.nets[r.Net].cn.Layers[r.Layer]
 	v.note(obs.KindEarlyEvict, r.Net, r.Layer, r.Iter, v.stallCause(l.MBBlocks), l.MBCycles)
+}
+
+// NotePreemption records a priority preemption in the run's decision
+// ledger and metrics: the scheduler is requesting a split of the
+// executing compute block r so a higher-priority request's ready work
+// can take the PE complex (the serving control plane's cross-request
+// preemption). Schedulers call it once per granted RequestSplit made
+// for priority reasons; the split itself is still recorded separately
+// by the engine (KindCBSplit) when applied. A no-op when the run has
+// no ledger or registry attached.
+func (v *View) NotePreemption(r CBRef) {
+	if v.om != nil {
+		v.om.preempts.Inc()
+	}
+	if v.led == nil {
+		return
+	}
+	var rem arch.Cycles
+	if cur, remaining, ok := v.ExecutingCB(); ok && cur == r {
+		rem = remaining
+	}
+	v.note(obs.KindPreempt, r.Net, r.Layer, r.Iter, v.stallCause(0), rem)
 }
