@@ -42,14 +42,15 @@ lint: vet
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-# Short fuzz smoke: 30s per target over the compiler, stream and
-# admission fuzzers. `go test` accepts one -fuzz pattern per
+# Short fuzz smoke: 30s per target over the compiler, stream,
+# admission and transformer fuzzers. `go test` accepts one -fuzz pattern per
 # invocation, hence one run each.
 FUZZTIME ?= 30s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzStream$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmission$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzTransformerCompile$$' -fuzztime $(FUZZTIME) .
 
 # Run the engine-throughput benchmarks and write BENCH_5.json
 # (blocks/sec, ns/op, allocs/op per benchmark).

@@ -122,6 +122,26 @@ var (
 	NetworkByName = nn.ByName
 )
 
+// TransformerConfig shapes a decoder-style transformer stack; see
+// nn.TransformerConfig.
+type TransformerConfig = nn.TransformerConfig
+
+// Transformer zoo (extension): attention-based networks whose blocks
+// lower to QKV/score/softmax/context/projection/MLP sub-layer chains.
+var (
+	// Transformer builds a transformer from an explicit config.
+	Transformer = nn.Transformer
+	// MustTransformer is Transformer, panicking on invalid configs.
+	MustTransformer = nn.MustTransformer
+	// BERTBase returns the 12-block encoder at the given sequence length.
+	BERTBase = nn.BERTBase
+	// GPT2Prefill returns the 12-block decoder processing a full prompt.
+	GPT2Prefill = nn.GPT2Prefill
+	// GPT2Decode returns the single-token autoregressive decode step
+	// against a KV cache of the given context length.
+	GPT2Decode = nn.GPT2Decode
+)
+
 // Compile lowers a network onto the hardware at the given batch size,
 // producing its sub-layer scheduling table.
 func Compile(net *Network, cfg Config, batch int) (*Compiled, error) {
@@ -257,8 +277,37 @@ type ServeCurveOptions = serve.CurveOptions
 // per run; see serve.SchedulerSpec.
 type SchedulerSpec = serve.SchedulerSpec
 
+// ServePhase tags a stream entry's request phase; see serve.Phase.
+type ServePhase = serve.Phase
+
+// Request phases for multi-phase (transformer) serving streams.
+const (
+	// ServeSinglePhase marks a classic one-shot request.
+	ServeSinglePhase = serve.PhaseSingle
+	// ServePrefillPhase marks a transformer request's prompt burst.
+	ServePrefillPhase = serve.PhasePrefill
+	// ServeDecodePhase marks one autoregressive decode iteration.
+	ServeDecodePhase = serve.PhaseDecode
+)
+
+// ServePhaseStats is one phase's row in a serving report; see
+// serve.PhaseStats.
+type ServePhaseStats = serve.PhaseStats
+
 // DefaultServingClasses returns the default mixed CNN/RNN serving mix.
 func DefaultServingClasses() []ServeClass { return serve.DefaultClasses() }
+
+// TransformerServingClasses returns the transformer/CNN serving mix:
+// a chat class (prefill plus eight per-token-deadlined decode
+// iterations) alongside the default CNN class.
+func TransformerServingClasses() []ServeClass { return serve.TransformerClasses() }
+
+// TransformerChatServeClass returns a small chat-style transformer
+// class with the given decode iteration count and per-request batch
+// size (concurrent sequences sharing each decode step's weight fetch).
+func TransformerChatServeClass(decode, batch int) ServeClass {
+	return serve.TransformerChatClass(decode, batch)
+}
 
 // NewServeStream generates a reproducible open-loop request stream
 // with weighted class picks, Poisson or bursty arrivals, and

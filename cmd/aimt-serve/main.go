@@ -41,6 +41,17 @@
 //	                                   # /debug/snapshot, /debug/pprof/
 //	aimt-serve -admin :8080 -hold 1m   # keep serving 1m after the sweep
 //	aimt-serve -ledger dec.jsonl       # dump the decision ledger
+//
+// With -transformer the stream is the transformer/CNN mix: each chat
+// request is one prefill burst plus chained autoregressive decode
+// iterations with per-token deadlines, and every report grows
+// per-phase latency columns plus the tokens-per-megacycle headline
+// (tokens/sec/chip lands in /metrics in cluster mode). -decode
+// overrides the chat class's decode length:
+//
+//	aimt-serve -transformer                  # prefill + 8 decode tokens
+//	aimt-serve -transformer -decode 32       # longer generations
+//	aimt-serve -transformer -chips 4         # KV-affine cluster routing
 package main
 
 import (
@@ -72,9 +83,11 @@ type options struct {
 	admission bool
 	prios     bool
 	autoscale bool
-	admin     string
-	hold      time.Duration
-	ledgerOut string
+	admin       string
+	hold        time.Duration
+	ledgerOut   string
+	transformer bool
+	decode      int
 }
 
 func main() {
@@ -99,6 +112,8 @@ func main() {
 	flag.StringVar(&opts.admin, "admin", "", "serve /metrics, /healthz, /debug/snapshot and /debug/pprof/ on this address (e.g. :8080)")
 	flag.DurationVar(&opts.hold, "hold", 0, "with -admin, keep the admin server up this long after the sweep finishes")
 	flag.StringVar(&opts.ledgerOut, "ledger", "", "write the scheduler decision ledger as JSON Lines to this file")
+	flag.BoolVar(&opts.transformer, "transformer", false, "serve the transformer/CNN mix: chat requests are one prefill burst plus chained decode iterations with per-token deadlines")
+	flag.IntVar(&opts.decode, "decode", -1, "with -transformer, override the chat class's decode iterations per request (-1 = default)")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -156,6 +171,12 @@ func validate(opts options) ([]float64, []aimt.ClusterPolicySpec, error) {
 	if opts.hold < 0 {
 		return nil, nil, fmt.Errorf("-hold must be non-negative, got %v", opts.hold)
 	}
+	if opts.decode < -1 {
+		return nil, nil, fmt.Errorf("-decode must be non-negative, got %d", opts.decode)
+	}
+	if opts.decode >= 0 && !opts.transformer {
+		return nil, nil, errors.New("-decode requires -transformer")
+	}
 	if opts.hold > 0 && opts.admin == "" {
 		return nil, nil, errors.New("-hold requires -admin")
 	}
@@ -170,6 +191,14 @@ func run(opts options) error {
 
 	cfg := aimt.PaperConfig()
 	classes := aimt.DefaultServingClasses()
+	mixName := "CNN/RNN"
+	if opts.transformer {
+		classes = aimt.TransformerServingClasses()
+		mixName = "transformer/CNN"
+		if opts.decode >= 0 {
+			classes[0].Decode = opts.decode
+		}
+	}
 	if opts.prios {
 		classes[0].Priority = 1
 	}
@@ -258,7 +287,7 @@ func run(opts options) error {
 				spec = aimt.ServePreemptiveAIMT()
 			}
 		}
-		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, opts)
+		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, mixName, opts)
 	} else {
 		copts := aimt.ServeCurveOptions{
 			Stream: sopts, Gaps: gaps, Workers: opts.parallel,
@@ -267,7 +296,7 @@ func run(opts options) error {
 		var points []aimt.ServeCurvePoint
 		points, err = aimt.ServeLoadCurve(cfg, classes, schedulers, copts)
 		if err == nil {
-			fmt.Printf("Serving load sweep: %d requests per point, %s arrivals\n\n", opts.requests, opts.process)
+			fmt.Printf("Serving load sweep: %s mix, %d requests per point, %s arrivals\n\n", mixName, opts.requests, opts.process)
 			err = aimt.PrintServeCurve(os.Stdout, points)
 		}
 	}
@@ -300,7 +329,7 @@ func run(opts options) error {
 // cluster. Every chip runs the given scheduler (the first of the
 // -sched selection, AI-MT by default); -route narrows the routing
 // policies under comparison.
-func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, opts options) error {
+func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, mixName string, opts options) error {
 	if len(policies) == 0 {
 		policies = aimt.ClusterPolicies()
 	}
@@ -320,8 +349,8 @@ func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerS
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Cluster load sweep: %d chips x %s per chip, %d requests per point, %s arrivals\n\n",
-		opts.chips, spec.Name, opts.requests, opts.process)
+	fmt.Printf("Cluster load sweep: %s mix, %d chips x %s per chip, %d requests per point, %s arrivals\n\n",
+		mixName, opts.chips, spec.Name, opts.requests, opts.process)
 	if err := aimt.PrintClusterCurve(os.Stdout, points); err != nil {
 		return err
 	}

@@ -747,6 +747,109 @@ func PrintOverloadCurve(w io.Writer, cfg Config) error {
 	return nil
 }
 
+// TransformerMixData sweeps offered load over a mixed transformer/CNN
+// serving stream — each transformer request is one prefill burst plus
+// eight chained decode iterations with per-token deadlines — under
+// FIFO, PREMA, AI-MT and EDF. The phased points exercise the MB/CB
+// co-execution opportunity the paper targets: prefill entries are
+// compute-bound while decode entries are memory-bound, so schedulers
+// that overlap the two phases across requests win on both tail
+// latency and tokens per megacycle.
+func TransformerMixData(cfg Config) ([]ServeCurvePoint, error) {
+	return ServeLoadCurve(cfg, TransformerServingClasses(), ServeStandardSchedulers(),
+		ServeCurveOptions{
+			Stream:  ServeStreamOptions{Requests: 120, Seed: 7},
+			Workers: SweepParallelism(),
+		})
+}
+
+// PrintTransformerMix renders the transformer/CNN mix load sweep with
+// the per-phase latency and token-throughput columns.
+func PrintTransformerMix(w io.Writer, cfg Config) error {
+	points, err := TransformerMixData(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Transformer mix (extension): chat (prefill + 8 decode tokens) vs CNN, 120 requests per point\n"); err != nil {
+		return err
+	}
+	return serve.PrintCurve(w, points)
+}
+
+// DecodeBatchSizes are the decode batch sizes swept by the decodebatch
+// experiment.
+var DecodeBatchSizes = []int{1, 4, 16}
+
+// DecodeBatchLoad is the decodebatch experiment's fixed offered load in
+// single-chip capacities.
+const DecodeBatchLoad = 0.7
+
+// DecodeBatchPoint is one batch-size point of the decodebatch
+// experiment.
+type DecodeBatchPoint struct {
+	// Batch is the per-request batch size (concurrent sequences whose
+	// decode steps share one weight fetch).
+	Batch int
+	// Rep is the AI-MT serving report at this batch size.
+	Rep *ServeReport
+}
+
+// DecodeBatchCurveData holds offered load fixed at DecodeBatchLoad and
+// sweeps the decode batch size under AI-MT: batching amortizes each
+// decode iteration's KV-cache and weight traffic over more tokens, so
+// tokens per megacycle must rise with the batch size while the
+// per-token deadline ladder keeps latency honest.
+func DecodeBatchCurveData(cfg Config) ([]DecodeBatchPoint, error) {
+	var out []DecodeBatchPoint
+	for _, batch := range DecodeBatchSizes {
+		classes := []ServeClass{TransformerChatServeClass(8, batch)}
+		probe, err := NewServeStream(cfg, classes, ServeStreamOptions{Requests: 1, MeanGap: 1, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		gap := Cycles(probe.MeanService / DecodeBatchLoad)
+		if gap < 1 {
+			gap = 1
+		}
+		stream, err := NewServeStream(cfg, classes, ServeStreamOptions{Requests: 96, MeanGap: gap, Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ServeRun(cfg, stream, NewAIMT(cfg, AllMechanisms()), RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("decodebatch batch %d: %w", batch, err)
+		}
+		rep.Scheduler = "AI-MT"
+		out = append(out, DecodeBatchPoint{Batch: batch, Rep: rep})
+	}
+	return out, nil
+}
+
+// PrintDecodeBatch renders the decode-batching curve: tokens per
+// megacycle (and per second per chip at the configured frequency)
+// against batch size, with the per-phase tails.
+func PrintDecodeBatch(w io.Writer, cfg Config) error {
+	pts, err := DecodeBatchCurveData(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Decode batching (extension): chat class, 8 decode tokens/request, AI-MT, load %.1f, 96 requests\n",
+		DecodeBatchLoad); err != nil {
+		return err
+	}
+	t := metrics.NewTable("batch", "tok/Mcyc", "tok/s/chip", "prefill p99", "decode p99", "decode miss", "PE util")
+	for _, p := range pts {
+		pre, dec := p.Rep.PerPhase[0], p.Rep.PerPhase[1]
+		tokPerSec := p.Rep.TokensPerMcycle * float64(cfg.FreqHz) / 1e6
+		t.AddRow(fmt.Sprint(p.Batch),
+			metrics.F(p.Rep.TokensPerMcycle), metrics.F(tokPerSec),
+			fmt.Sprint(pre.P99), fmt.Sprint(dec.P99),
+			metrics.Pct(dec.MissRate), metrics.Pct(p.Rep.PEUtil))
+	}
+	_, err = fmt.Fprintf(w, "%s", t)
+	return err
+}
+
 // SpatialData returns, per zoo network, the mean spatial MAC
 // utilization of the weight-stationary mapping — the §VI-B headroom a
 // spatial co-execution extension could reclaim.
@@ -881,6 +984,8 @@ func Experiments() []Experiment {
 		{ID: "loadcurve", Title: "Serving load sweep with SLA tracking (extension)", Run: PrintLoadCurve},
 		{ID: "clusterscale", Title: "Cluster scaling: throughput and tail latency vs chip count (extension)", Run: PrintClusterScale},
 		{ID: "overloadcurve", Title: "Overload degradation: admission, priorities and autoscaling under saturation (extension)", Run: PrintOverloadCurve},
+		{ID: "transformermix", Title: "Transformer/CNN mix: phase-aware serving load sweep (extension)", Run: PrintTransformerMix},
+		{ID: "decodebatch", Title: "Decode batching: tokens per megacycle vs batch size (extension)", Run: PrintDecodeBatch},
 		{ID: "spatial", Title: "Spatial PE utilization headroom (extension)", Run: PrintSpatial},
 	}
 }

@@ -89,6 +89,77 @@ func FuzzCompile(f *testing.F) {
 	})
 }
 
+// FuzzTransformerCompile drives random attention shapes — block,
+// hidden, head, FFN, sequence and context counts, including the
+// degenerate 0/1 cases — through the transformer builder and the
+// compiler: any input either errors cleanly or compiles to a valid
+// sub-layer table whose attention layers carry positive iteration
+// counts and KV-cache-sized footprints.
+func FuzzTransformerCompile(f *testing.F) {
+	f.Add(uint8(2), uint8(64), uint8(4), uint8(128), uint8(16), uint8(16), uint8(128), uint8(1))
+	f.Add(uint8(1), uint8(8), uint8(1), uint8(8), uint8(1), uint8(1), uint8(0), uint8(2))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(1), uint8(12), uint8(3), uint8(24), uint8(1), uint8(200), uint8(32), uint8(3))
+	f.Add(uint8(3), uint8(96), uint8(12), uint8(255), uint8(32), uint8(32), uint8(255), uint8(0))
+	f.Fuzz(func(t *testing.T, blocks, hidden, heads, ffn, seq, ctx, vocab, batch uint8) {
+		cfg := Config{
+			PEDim:        4,
+			NumArrays:    4,
+			FreqHz:       1_000_000_000,
+			MemBandwidth: 1_000_000_000,
+			WeightSRAM:   64 * 16,
+			IOSRAM:       1 << 20,
+			WeightBytes:  1,
+			FillLatency:  2,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fixed config invalid: %v", err)
+		}
+		check := func(net *Network) {
+			cn, err := Compile(net, cfg, int(batch%4)+1)
+			if err != nil {
+				return // compiler rejection: fine
+			}
+			if err := cn.Validate(); err != nil {
+				t.Fatalf("%s: compiled table fails its own validation: %v", net.Name, err)
+			}
+			for _, l := range cn.Layers {
+				if l.Iters <= 0 {
+					t.Fatalf("%s layer %s: non-positive Iters %d", net.Name, l.Name, l.Iters)
+				}
+				if l.MBCycles < 0 || l.CBCycles < 0 || l.MBBlocks < 0 || l.MBBytes < 0 {
+					t.Fatalf("%s layer %s: negative cycles or footprint: %+v", net.Name, l.Name, l)
+				}
+			}
+		}
+
+		// Whole-stack path: raw values through the transformer config;
+		// invalid shapes (zero dims, Hidden not divisible by Heads,
+		// Context < SeqLen) must error, never panic.
+		net, err := Transformer(TransformerConfig{
+			Name:    "fuzz-tf",
+			Blocks:  int(blocks % 4),
+			Hidden:  int(hidden),
+			Heads:   int(heads % 16),
+			FFN:     int(ffn),
+			OutProj: int(vocab),
+			SeqLen:  int(seq),
+			Context: int(ctx),
+		})
+		if err == nil {
+			check(net)
+		}
+
+		// Bare-layer path: a single attention layer with unvalidated
+		// shape fields exercises the nn validator directly.
+		b := NewNetwork("fuzz-attn", int(hidden%64)+1, 1, 1)
+		b.Attn("a0", int(hidden%64)+1, int(heads), int(ctx), int(seq))
+		if net, err := b.Build(); err == nil {
+			check(net)
+		}
+	})
+}
+
 // FuzzStream drives random arrival streams through every scheduler
 // with the machine-model invariant checker on: arbitrary request
 // sequences, gaps, and deadlines must keep the invariants green and

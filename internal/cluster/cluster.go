@@ -106,9 +106,12 @@ type Result struct {
 }
 
 // Dispatch routes every request of the stream to a chip under the
-// policy, in arrival order, and returns the request-to-chip
-// assignment. The dispatcher's backlog estimates advance with each
-// routed request's class service estimate.
+// policy, in arrival order, and returns the entry-to-chip assignment.
+// The dispatcher's backlog estimates advance with each routed entry's
+// service estimate. Routing is request-granular: a decode entry
+// inherits its predecessor's chip without consulting the policy — its
+// KV cache lives there — but still advances that chip's backlog by the
+// decode service estimate.
 func Dispatch(s *serve.Stream, pol Policy, chips int) ([]int, error) {
 	if chips <= 0 {
 		return nil, fmt.Errorf("cluster: chips must be positive, got %d", chips)
@@ -126,12 +129,16 @@ func Dispatch(s *serve.Stream, pol Policy, chips int) ([]int, error) {
 			Class:    s.ClassOf[i],
 			Arrival:  s.Arrivals[i],
 			Deadline: s.Deadlines[i],
-		}
-		if r.Class < len(s.ClassService) {
-			r.Service = s.ClassService[r.Class]
+			Service:  s.EntryService(i),
 		}
 		if r.Class < len(s.ClassPriority) {
 			r.Priority = s.ClassPriority[r.Class]
+		}
+		if s.ChainAfter != nil && s.ChainAfter[i] >= 0 {
+			c := out[s.ChainAfter[i]]
+			out[i] = c
+			v.route(c, r)
+			continue
 		}
 		c := pol.Pick(v, r)
 		if c < 0 || c >= chips {
@@ -196,6 +203,7 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 			New:       func() sim.Scheduler { return spec.New(cfg, sub) },
 			Opts: sim.Options{
 				Arrivals:        sub.Arrivals,
+				ChainAfter:      sub.ChainAfter,
 				CheckInvariants: opts.CheckInvariants,
 				Metrics:         opts.Metrics,
 				Ledger:          opts.Ledger,
@@ -250,6 +258,11 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		merged.Splits += o.Res.Splits
 		for li, gi := range perChip[c] {
 			merged.NetFinish[gi] = o.Res.NetFinish[li]
+			// The chip result's arrival is the effective one (a decode
+			// phase arrives when its predecessor finishes); for unchained
+			// entries it equals the stream arrival, so this copy is an
+			// identity on single-phase streams.
+			merged.NetArrive[gi] = o.Res.NetArrive[li]
 			merged.NetNames[gi] = o.Res.NetNames[li]
 		}
 	}
@@ -293,6 +306,11 @@ func (r *Result) publish(reg *obs.Registry, utils []float64) {
 	reg.Counter(pl("aimt_cluster_requests_total")).Add(int64(len(r.Assignment)))
 	reg.Counter(pl("aimt_cluster_sla_misses_total")).Add(int64(r.Agg.Misses))
 	reg.Gauge(pl("aimt_cluster_imbalance")).Set(r.Imbalance)
+	if r.Agg.PerPhase != nil && r.Chips > 0 {
+		// The transformer serving headline: generated tokens per million
+		// cycles, normalized per chip.
+		reg.Gauge(pl("aimt_cluster_tokens_per_mcycle_per_chip")).Set(r.Agg.TokensPerMcycle / float64(r.Chips))
+	}
 	if r.Shed != nil {
 		reg.Counter(pl("aimt_cluster_shed_total")).Add(int64(r.ShedCount))
 		reg.Counter(pl("aimt_cluster_scale_ups_total")).Add(int64(r.ScaleUps))

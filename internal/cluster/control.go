@@ -146,12 +146,29 @@ func dispatchControlled(s *serve.Stream, pol Policy, chips int, ctl Control, led
 			Class:    s.ClassOf[i],
 			Arrival:  s.Arrivals[i],
 			Deadline: s.Deadlines[i],
-		}
-		if r.Class < len(s.ClassService) {
-			r.Service = s.ClassService[r.Class]
+			Service:  s.EntryService(i),
 		}
 		if r.Class < len(s.ClassPriority) {
 			r.Priority = s.ClassPriority[r.Class]
+		}
+
+		// Control decisions fire at request granularity: a decode phase
+		// follows its request head — shed with it, or routed to the same
+		// chip (its KV cache lives there) while still advancing that
+		// chip's backlog — and never triggers autoscaling or admission
+		// on its own.
+		if s.ChainAfter != nil && s.ChainAfter[i] >= 0 {
+			p := s.ChainAfter[i]
+			if shed[p] {
+				assign[i] = -1
+				shed[i] = true
+				st.shedCount++
+				continue
+			}
+			c := assign[p]
+			assign[i] = c
+			v.route(c, r)
+			continue
 		}
 
 		if ctl.Autoscale && s.MeanService > 0 {

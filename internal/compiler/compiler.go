@@ -38,7 +38,7 @@ type CompiledLayer struct {
 	// Name is the source layer name, e.g. "conv3_2".
 	Name string
 
-	// Type is the source layer type (Conv, DWConv or FC).
+	// Type is the source layer type (Conv, DWConv, FC or Attn).
 	Type nn.LayerType
 
 	// MBCycles is the HBM occupancy of one memory block.
@@ -214,6 +214,17 @@ func estimate(l nn.Layer, cfg arch.Config, batch int) (CompiledLayer, error) {
 		cl.MBCycles = read * arch.Cycles(arrays)
 		cl.CBCycles = arch.Cycles(int64(batch)*int64(l.Reuse())) + fill
 		cl.Iters = int(ceil(int64(l.OutC), dim*arrays) * ceil(int64(l.InC), dim))
+		cl.MBBlocks = cfg.NumArrays
+	case nn.Attn:
+		// KV-cache-stationary, mapped like FC: each PE array holds a
+		// distinct Ctx-tile of the cache (K for the score product, V for
+		// the context product) and the Tokens query positions stream
+		// through. A decode pass (Tokens = 1) pays the full cache fetch
+		// for one token of compute — memory-bound; a prefill pass
+		// (Tokens = SeqLen) amortizes the same fetch — compute-heavy.
+		cl.MBCycles = read * arch.Cycles(arrays)
+		cl.CBCycles = arch.Cycles(int64(batch)*int64(l.Tokens)) + fill
+		cl.Iters = int(ceil(int64(l.Ctx), dim*arrays) * ceil(int64(l.InC), dim))
 		cl.MBBlocks = cfg.NumArrays
 	default:
 		return cl, fmt.Errorf("layer type %v carries no weights", l.Type)

@@ -88,6 +88,32 @@ func (b *Builder) FC(name string, outC int) int {
 	})
 }
 
+// Attn appends one attention matmul (score or context product) over a
+// KV cache of ctx entries at the given hidden width, computing tokens
+// query positions across heads attention heads. The input is whatever
+// the chain produced (typically the QKV projection or the softmaxed
+// scores); like FC, attention reshapes its input, so no edge agreement
+// is enforced.
+func (b *Builder) Attn(name string, width, heads, ctx, tokens int) int {
+	return b.push(Layer{
+		Name: name, Type: Attn,
+		InC: width, InH: 1, InW: 1,
+		OutC: width, Kernel: 1, Stride: 1,
+		Heads: heads, Ctx: ctx, Tokens: tokens,
+	})
+}
+
+// Softmax appends the attention-score normalization. It carries no
+// weights and is fused into its producer for scheduling, contributing
+// a dependency edge only; the feature shape passes through unchanged.
+func (b *Builder) Softmax(name string) int {
+	return b.push(Layer{
+		Name: name, Type: Softmax,
+		InC: b.curC, InH: b.curH, InW: b.curW,
+		OutC: b.curC, Kernel: 1, Stride: 1,
+	})
+}
+
 // Pool appends a pooling layer with a k x k window, given stride, and
 // symmetric padding.
 func (b *Builder) Pool(name string, k, stride, pad int) int {

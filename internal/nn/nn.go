@@ -36,6 +36,21 @@ const (
 	// (paper Fig 2), carries no weights, and is fused into its producer
 	// for scheduling: it contributes dependency edges only.
 	Pool
+
+	// Attn is one attention matmul against the KV cache: the score
+	// product (Q x K^T) or the context product (softmax(scores) x V).
+	// Its "weights" are the Ctx x InC cache tile streamed from HBM —
+	// per-sequence state that, exactly like FC weights, must be fetched
+	// before the compute block can run. Tokens is the number of query
+	// positions this pass computes: the prompt length during prefill
+	// (compute-heavy), one during autoregressive decode (memory-bound).
+	Attn
+
+	// Softmax is the attention-score normalization between the two
+	// attention matmuls. Like Pool it runs on a dedicated vector unit,
+	// carries no weights, and is fused into its producer: it contributes
+	// dependency edges only.
+	Softmax
 )
 
 // String implements fmt.Stringer.
@@ -49,15 +64,20 @@ func (t LayerType) String() string {
 		return "FC"
 	case Pool:
 		return "POOL"
+	case Attn:
+		return "ATTN"
+	case Softmax:
+		return "SOFTMAX"
 	default:
 		return fmt.Sprintf("LayerType(%d)", int(t))
 	}
 }
 
 // HasWeights reports whether layers of this type fetch weights from
-// HBM and therefore produce memory blocks.
+// HBM and therefore produce memory blocks. Attn counts: its KV-cache
+// tile plays the role of the stationary operand.
 func (t LayerType) HasWeights() bool {
-	return t == Conv || t == DWConv || t == FC
+	return t == Conv || t == DWConv || t == FC || t == Attn
 }
 
 // Layer is one operation in a network. For Conv/DWConv layers the
@@ -90,8 +110,25 @@ type Layer struct {
 
 	// Repeat is the number of times the layer's weights are reused per
 	// inference beyond the batch dimension — the timestep count for
-	// recurrent layers (GNMT). Zero means 1.
+	// recurrent layers (GNMT) and the token count for transformer
+	// projections streaming a prefill through one weight fetch. Zero
+	// means 1.
 	Repeat int
+
+	// Heads is the attention head count (Attn layers only). Heads
+	// partition the hidden dimension, so the aggregate cache footprint
+	// and MAC count are head-independent; the field is kept for
+	// validation and reporting.
+	Heads int
+
+	// Ctx is the KV-cache length an Attn layer attends over: the prompt
+	// length during prefill, the accumulated sequence length during
+	// decode.
+	Ctx int
+
+	// Tokens is the number of query positions an Attn layer computes:
+	// the prompt length for a prefill pass, 1 for one decode iteration.
+	Tokens int
 
 	// Inputs lists the indices of the layers whose outputs feed this
 	// layer. An empty list marks a network input layer. Residual
@@ -141,6 +178,10 @@ func (l Layer) WeightCount() int64 {
 		return int64(l.InC) * int64(l.Kernel) * int64(l.Kernel)
 	case FC:
 		return int64(l.InC) * int64(l.OutC)
+	case Attn:
+		// One half of the KV cache (K for the score matmul, V for the
+		// context matmul): Ctx vectors of the hidden width.
+		return int64(l.Ctx) * int64(l.InC)
 	default:
 		return 0
 	}
@@ -168,6 +209,10 @@ func (l Layer) MACs() int64 {
 			int64(l.Kernel) * int64(l.Kernel)
 	case FC:
 		return int64(l.InC) * int64(l.OutC) * int64(l.Reuse())
+	case Attn:
+		// Summed over heads the score (and context) product is
+		// Tokens x Ctx x hidden MACs, head-count independent.
+		return int64(l.Tokens) * int64(l.Ctx) * int64(l.InC)
 	default:
 		return 0
 	}
@@ -204,15 +249,21 @@ func (n *Network) Validate() error {
 		if l.Type.HasWeights() && l.WeightCount() <= 0 {
 			return fmt.Errorf("%w: layer %d (%s) has no weights", ErrBadShape, i, l.Name)
 		}
+		if l.Type == Attn && (l.Heads <= 0 || l.Ctx <= 0 || l.Tokens <= 0) {
+			return fmt.Errorf("%w: layer %d (%s) needs positive Heads/Ctx/Tokens, got %d/%d/%d",
+				ErrBadShape, i, l.Name, l.Heads, l.Ctx, l.Tokens)
+		}
 		for _, in := range l.Inputs {
 			if in < 0 || in >= i {
 				return fmt.Errorf("%w: layer %d (%s) input %d", ErrBadTopology, i, l.Name, in)
 			}
 			p := n.Layers[in]
-			if l.Type == FC {
+			if l.Type == FC || l.Type == Attn {
 				// FC layers flatten and may follow recurrent or concat
 				// topologies (GNMT) whose reshaping the shape model does
-				// not represent; edge agreement is not enforced.
+				// not represent; attention reshapes the QKV projection
+				// into per-head matrices. Edge agreement is not enforced
+				// for either.
 				continue
 			}
 			if p.OutC != l.InC {

@@ -206,12 +206,18 @@ func Zoo() map[string]*Network {
 
 // ByName returns the zoo network with the given short or long name.
 func ByName(name string) (*Network, error) {
+	bert := func() *Network { return BERTBase(128) }
+	gptPrefill := func() *Network { return GPT2Prefill(128) }
+	gptDecode := func() *Network { return GPT2Decode(128) }
 	alias := map[string]func() *Network{
 		"RN34": ResNet34, "ResNet34": ResNet34, "resnet34": ResNet34,
 		"RN50": ResNet50, "ResNet50": ResNet50, "resnet50": ResNet50,
 		"VGG16": VGG16, "vgg16": VGG16,
 		"MN": MobileNet, "MobileNet": MobileNet, "mobilenet": MobileNet,
 		"GNMT": GNMT, "gnmt": GNMT,
+		"BERT": bert, "bert": bert,
+		"GPT2": gptPrefill, "gpt2": gptPrefill,
+		"GPT2-decode": gptDecode, "gpt2-decode": gptDecode,
 	}
 	if f, ok := alias[name]; ok {
 		return f(), nil

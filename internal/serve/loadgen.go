@@ -20,14 +20,64 @@ import (
 	"aimt/internal/nn"
 )
 
+// Phase identifies a request phase in a stream. Single-phase classes
+// (the CNN/RNN default) emit one PhaseSingle entry per request;
+// transformer classes emit one PhasePrefill entry followed by
+// Class.Decode chained PhaseDecode entries.
+type Phase uint8
+
+const (
+	// PhaseSingle is the whole of an ordinary one-shot request.
+	PhaseSingle Phase = iota
+
+	// PhasePrefill is a transformer request's prompt pass.
+	PhasePrefill
+
+	// PhaseDecode is one autoregressive decode iteration (one generated
+	// token per sequence in the batch).
+	PhaseDecode
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSingle:
+		return "single"
+	case PhasePrefill:
+		return "prefill"
+	case PhaseDecode:
+		return "decode"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
 // Class is one request population in a serving mix: a model, how often
 // it is requested, and how tight its latency SLA is.
 type Class struct {
 	// Name labels the class in reports; empty means the network name.
 	Name string
 
-	// Net is the model served for this class.
+	// Net is the model served for this class. For a transformer class
+	// (DecodeNet set) this is the prefill pass.
 	Net *nn.Network
+
+	// DecodeNet, when non-nil, makes this a two-phase transformer
+	// class: each request runs Net once (prefill) and then DecodeNet
+	// Decode times, every iteration chained after the previous phase.
+	DecodeNet *nn.Network
+
+	// Decode is the decode iteration count per request — the number of
+	// generated tokens per sequence. Only meaningful with DecodeNet;
+	// zero emits a prefill-only request (useful as a differential
+	// anchor against the equivalent single-phase class).
+	Decode int
+
+	// TokenSlack scales each decode iteration's deadline budget: decode
+	// k of a request must finish by the prefill deadline plus
+	// k x TokenSlack x (isolated decode service estimate) — a per-token
+	// SLA, as user-facing text generation requires. Zero or negative
+	// means the class Slack.
+	TokenSlack float64
 
 	// Weight is the class's relative request frequency; zero or
 	// negative means 1.
@@ -77,6 +127,46 @@ func DefaultClasses() []Class {
 		{Name: "cnn", Net: cnn.MustBuild(), Weight: 3, Slack: 6},
 		{Name: "rnn", Net: rnn.MustBuild(), Weight: 1, Slack: 10},
 	}
+}
+
+// TransformerChatClass returns a GPT-style "chat" class sized for fast
+// sweeps: a 2-block, 64-wide transformer whose requests run one
+// 16-token prefill pass and then decode generated tokens one at a
+// time, each against the full KV cache (prompt plus generation) and
+// each with its own per-token deadline. The compute-heavy prefill and
+// memory-bound decode phases are the transformer half of the MB/CB
+// intensity-mismatch story.
+func TransformerChatClass(decode, batch int) Class {
+	const (
+		hidden = 64
+		heads  = 4
+		ffn    = 128
+		vocab  = 128
+		prompt = 16
+	)
+	prefill := nn.MustTransformer(nn.TransformerConfig{
+		Name: "chat-prefill", Blocks: 2, Hidden: hidden, Heads: heads,
+		FFN: ffn, OutProj: vocab, SeqLen: prompt, Context: prompt,
+	})
+	dec := nn.MustTransformer(nn.TransformerConfig{
+		Name: "chat-decode", Blocks: 2, Hidden: hidden, Heads: heads,
+		FFN: ffn, OutProj: vocab, SeqLen: 1, Context: prompt + decode,
+	})
+	return Class{
+		Name: "chat", Net: prefill, DecodeNet: dec, Decode: decode,
+		Batch: batch, Slack: 6, TokenSlack: 8,
+	}
+}
+
+// TransformerClasses returns the transformer-vs-CNN serving mix: the
+// chat class (8 generated tokens per request) alongside the default
+// CNN vision class, weighted toward chat.
+func TransformerClasses() []Class {
+	cnn := DefaultClasses()[0]
+	cnn.Weight = 1
+	chat := TransformerChatClass(8, 1)
+	chat.Weight = 2
+	return []Class{chat, cnn}
 }
 
 // Process selects the arrival process of a stream.
@@ -130,44 +220,86 @@ type compiledClass struct {
 	name    string
 	net     *compiler.CompiledNetwork
 	slack   float64
-	service arch.Cycles // isolated service estimate
+	service arch.Cycles // isolated service estimate (prefill for two-phase)
 	prio    int
+	batch   int
+
+	// Two-phase (transformer) classes only.
+	decode      *compiler.CompiledNetwork
+	decodeIters int
+	decodeSvc   arch.Cycles // isolated service estimate of one iteration
+	tokenBudget arch.Cycles // per-token deadline increment
 }
 
-// Stream is a generated open-loop request stream ready to simulate:
-// per-request compiled networks, arrival cycles, and absolute
-// deadlines, indexed alike.
+// Stream is a generated open-loop request stream ready to simulate.
+// Each entry is one simulated network instance — a whole request for
+// single-phase classes, one phase for transformer classes — with
+// arrival cycles and absolute deadlines indexed alike. A request's
+// phases share its arrival; the simulator's phase chaining
+// (sim.Options.ChainAfter) delays each decode entry until its
+// predecessor finishes.
 type Stream struct {
 	// Name labels the stream.
 	Name string
 
-	// Nets holds each request's compiled network in arrival order.
+	// Nets holds each entry's compiled network in arrival order.
 	Nets []*compiler.CompiledNetwork
 
-	// Arrivals gives each request's arrival cycle (non-decreasing).
+	// Arrivals gives each entry's arrival cycle (non-decreasing).
 	Arrivals []arch.Cycles
 
-	// Deadlines gives each request's absolute deadline:
-	// arrival + slack x isolated service estimate of its class.
+	// Deadlines gives each entry's absolute deadline. Single-phase and
+	// prefill entries get arrival + slack x isolated service estimate;
+	// decode entry k of a request gets the request's prefill deadline
+	// plus k x TokenSlack x isolated decode estimate (a per-token SLA).
 	Deadlines []arch.Cycles
 
-	// ClassOf gives each request's index into Classes.
+	// ClassOf gives each entry's index into Classes.
 	ClassOf []int
+
+	// ReqOf gives each entry's request id (dense, 0-based, ascending);
+	// nil for streams without transformer classes, where entry index
+	// and request id coincide.
+	ReqOf []int
+
+	// PhaseOf gives each entry's phase; nil for streams without
+	// transformer classes (every entry PhaseSingle).
+	PhaseOf []Phase
+
+	// ChainAfter gives each entry's predecessor entry index (-1 for
+	// request heads), in the shape sim.Options.ChainAfter expects; nil
+	// for streams without transformer classes.
+	ChainAfter []int
+
+	// Requests is the request count; len(Nets) for single-phase
+	// streams, smaller than len(Nets) when decode phases are present.
+	Requests int
 
 	// Classes names the request classes, in Class order.
 	Classes []string
 
-	// ClassService gives each class's isolated service estimate,
-	// indexed like Classes — the unit of outstanding work a cluster
-	// dispatcher accounts per routed request.
+	// ClassService gives each class's isolated service estimate
+	// (prefill estimate for transformer classes), indexed like
+	// Classes — the unit of outstanding work a cluster dispatcher
+	// accounts per routed request head.
 	ClassService []arch.Cycles
+
+	// ClassDecodeService gives each class's isolated decode-iteration
+	// service estimate, indexed like Classes; zero for single-phase
+	// classes.
+	ClassDecodeService []arch.Cycles
+
+	// ClassBatch gives each class's compiled batch size, indexed like
+	// Classes — the tokens generated per completed decode entry.
+	ClassBatch []int
 
 	// ClassPriority gives each class's scheduling priority, indexed
 	// like Classes (higher is more urgent; see Class.Priority).
 	ClassPriority []int
 
 	// MeanService is the weight-averaged isolated service estimate of
-	// one request, the numerator of offered load.
+	// one whole request (prefill plus all decode iterations), the
+	// numerator of offered load.
 	MeanService float64
 
 	// MeanGap echoes the generating option after defaulting.
@@ -209,31 +341,75 @@ func (s *Stream) NetPriorities() []int {
 	return out
 }
 
-// SubStream returns the stream restricted to the given request
-// indices, which must be ascending and in range. Arrival order (and
-// therefore the non-decreasing arrival invariant) is preserved, so the
-// result is itself a valid stream — this is how a cluster dispatcher
-// turns one front-door stream into per-chip streams. Class metadata,
-// MeanService and MeanGap are inherited from the parent; per-request
-// slices are fresh copies.
+// EntryService returns entry i's isolated service estimate: the class
+// decode estimate for decode entries, the class (prefill) estimate
+// otherwise — the unit of outstanding work a dispatcher accounts for
+// routing entry i.
+func (s *Stream) EntryService(i int) arch.Cycles {
+	ci := s.ClassOf[i]
+	if s.PhaseOf != nil && s.PhaseOf[i] == PhaseDecode && ci < len(s.ClassDecodeService) {
+		return s.ClassDecodeService[ci]
+	}
+	if ci < len(s.ClassService) {
+		return s.ClassService[ci]
+	}
+	return 0
+}
+
+// SubStream returns the stream restricted to the given entry indices,
+// which must be ascending and in range. Arrival order (and therefore
+// the non-decreasing arrival invariant) is preserved, so the result is
+// itself a valid stream — this is how a cluster dispatcher turns one
+// front-door stream into per-chip streams. For streams with phases the
+// indices must be request-closed: every decode entry's predecessor
+// must be included too (a dispatcher routes whole requests), and
+// SubStream panics otherwise. Class metadata, MeanService and MeanGap
+// are inherited from the parent; per-entry slices are fresh copies
+// (ReqOf keeps the parent's request ids; ChainAfter is remapped to
+// local indices).
 func (s *Stream) SubStream(name string, indices []int) *Stream {
 	sub := &Stream{
-		Name:          name,
-		Classes:       s.Classes,
-		ClassService:  s.ClassService,
-		ClassPriority: s.ClassPriority,
-		MeanService:   s.MeanService,
-		MeanGap:       s.MeanGap,
-		Nets:          make([]*compiler.CompiledNetwork, len(indices)),
-		Arrivals:      make([]arch.Cycles, len(indices)),
-		Deadlines:     make([]arch.Cycles, len(indices)),
-		ClassOf:       make([]int, len(indices)),
+		Name:               name,
+		Classes:            s.Classes,
+		ClassService:       s.ClassService,
+		ClassDecodeService: s.ClassDecodeService,
+		ClassBatch:         s.ClassBatch,
+		ClassPriority:      s.ClassPriority,
+		MeanService:        s.MeanService,
+		MeanGap:            s.MeanGap,
+		Requests:           len(indices),
+		Nets:               make([]*compiler.CompiledNetwork, len(indices)),
+		Arrivals:           make([]arch.Cycles, len(indices)),
+		Deadlines:          make([]arch.Cycles, len(indices)),
+		ClassOf:            make([]int, len(indices)),
 	}
 	for i, gi := range indices {
 		sub.Nets[i] = s.Nets[gi]
 		sub.Arrivals[i] = s.Arrivals[gi]
 		sub.Deadlines[i] = s.Deadlines[gi]
 		sub.ClassOf[i] = s.ClassOf[gi]
+	}
+	if s.ChainAfter != nil {
+		sub.ReqOf = make([]int, len(indices))
+		sub.PhaseOf = make([]Phase, len(indices))
+		sub.ChainAfter = make([]int, len(indices))
+		sub.Requests = 0
+		local := make(map[int]int, len(indices))
+		for i, gi := range indices {
+			local[gi] = i
+			sub.ReqOf[i] = s.ReqOf[gi]
+			sub.PhaseOf[i] = s.PhaseOf[gi]
+			if p := s.ChainAfter[gi]; p >= 0 {
+				lp, ok := local[p]
+				if !ok {
+					panic(fmt.Sprintf("serve: SubStream %q: entry %d chained after %d, which is not included", name, gi, p))
+				}
+				sub.ChainAfter[i] = lp
+			} else {
+				sub.ChainAfter[i] = -1
+				sub.Requests++
+			}
+		}
 	}
 	return sub
 }
@@ -270,6 +446,7 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 	compiled := make([]compiledClass, 0, len(classes))
 	var weights []float64
 	var totalW, meanService float64
+	phased := false
 	for i, c := range classes {
 		if c.Net == nil {
 			return nil, fmt.Errorf("serve: class %d has no network", i)
@@ -282,7 +459,7 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 		if err != nil {
 			return nil, fmt.Errorf("serve: class %q: %w", c.Net.Name, err)
 		}
-		cc := compiledClass{name: c.Name, net: cn, slack: c.Slack, prio: c.Priority}
+		cc := compiledClass{name: c.Name, net: cn, slack: c.Slack, prio: c.Priority, batch: batch}
 		if cc.name == "" {
 			cc.name = c.Net.Name
 		}
@@ -290,6 +467,23 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 			cc.slack = DefaultSlack
 		}
 		cc.service = serviceEstimate(cfg, cn)
+		if c.DecodeNet != nil {
+			phased = true
+			dn, err := compiler.Compile(c.DecodeNet, cfg, batch)
+			if err != nil {
+				return nil, fmt.Errorf("serve: class %q decode: %w", c.DecodeNet.Name, err)
+			}
+			cc.decode = dn
+			if c.Decode > 0 {
+				cc.decodeIters = c.Decode
+			}
+			cc.decodeSvc = serviceEstimate(cfg, dn)
+			ts := c.TokenSlack
+			if ts <= 0 {
+				ts = cc.slack
+			}
+			cc.tokenBudget = arch.Cycles(ts * float64(cc.decodeSvc))
+		}
 		w := c.Weight
 		if w <= 0 {
 			w = 1
@@ -297,7 +491,7 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 		compiled = append(compiled, cc)
 		weights = append(weights, w)
 		totalW += w
-		meanService += w * float64(cc.service)
+		meanService += w * float64(cc.service+arch.Cycles(cc.decodeIters)*cc.decodeSvc)
 	}
 	meanService /= totalW
 
@@ -306,10 +500,13 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 		Name:        fmt.Sprintf("%s-load%.2f", opts.Process, meanService/float64(opts.MeanGap)),
 		MeanService: meanService,
 		MeanGap:     opts.MeanGap,
+		Requests:    opts.Requests,
 	}
 	for _, cc := range compiled {
 		s.Classes = append(s.Classes, cc.name)
 		s.ClassService = append(s.ClassService, cc.service)
+		s.ClassDecodeService = append(s.ClassDecodeService, cc.decodeSvc)
+		s.ClassBatch = append(s.ClassBatch, cc.batch)
 		s.ClassPriority = append(s.ClassPriority, cc.prio)
 	}
 
@@ -323,10 +520,34 @@ func NewStream(cfg arch.Config, classes []Class, opts StreamOptions) (*Stream, e
 			ci++
 		}
 		cc := compiled[ci]
+		head := len(s.Nets)
+		headDeadline := t + arch.Cycles(cc.slack*float64(cc.service))
 		s.Nets = append(s.Nets, cc.net)
 		s.Arrivals = append(s.Arrivals, t)
-		s.Deadlines = append(s.Deadlines, t+arch.Cycles(cc.slack*float64(cc.service)))
+		s.Deadlines = append(s.Deadlines, headDeadline)
 		s.ClassOf = append(s.ClassOf, ci)
+		if phased {
+			phase := PhaseSingle
+			if cc.decode != nil {
+				phase = PhasePrefill
+			}
+			s.ReqOf = append(s.ReqOf, i)
+			s.PhaseOf = append(s.PhaseOf, phase)
+			s.ChainAfter = append(s.ChainAfter, -1)
+			// Decode iterations share the request's arrival cycle; the
+			// simulator chains each one after its predecessor, and the
+			// deadline ladder gives every token its own budget on top of
+			// the prefill deadline.
+			for k := 1; k <= cc.decodeIters; k++ {
+				s.Nets = append(s.Nets, cc.decode)
+				s.Arrivals = append(s.Arrivals, t)
+				s.Deadlines = append(s.Deadlines, headDeadline+arch.Cycles(k)*cc.tokenBudget)
+				s.ClassOf = append(s.ClassOf, ci)
+				s.ReqOf = append(s.ReqOf, i)
+				s.PhaseOf = append(s.PhaseOf, PhaseDecode)
+				s.ChainAfter = append(s.ChainAfter, head+k-1)
+			}
+		}
 
 		// Next gap. Both processes have mean MeanGap so offered load is
 		// process-independent; Bursty concentrates it into geometric

@@ -33,6 +33,27 @@ type ClassStats struct {
 	P99 arch.Cycles
 }
 
+// PhaseStats aggregates one request phase's outcomes within a report.
+// A phase with no entries in the stream gets a zero-valued row rather
+// than dividing by its zero served count.
+type PhaseStats struct {
+	// Phase is the phase this row aggregates.
+	Phase Phase
+	// Entries is the number of stream entries of this phase, shed ones
+	// included.
+	Entries int
+	// Shed is how many were dropped by admission control.
+	Shed int
+	// Misses is how many served entries finished after their deadline.
+	Misses int
+	// MissRate is Misses over served entries.
+	MissRate float64
+	// P50 and P99 are latency quantiles over served entries. Decode
+	// latency is measured from the phase's effective arrival (its
+	// predecessor's finish), so it is a per-token latency.
+	P50, P99 arch.Cycles
+}
+
 // Report summarizes one scheduler's run over a stream. It is built by
 // streaming over the result once — per-request latencies live only in
 // the histogram, so its size is O(buckets), not O(requests).
@@ -40,7 +61,8 @@ type Report struct {
 	// Scheduler is the policy name.
 	Scheduler string
 
-	// Requests is the stream length.
+	// Requests is the stream entry count (phases count individually for
+	// multi-phase streams).
 	Requests int
 
 	// Makespan is the cycle the last request completed.
@@ -70,6 +92,19 @@ type Report struct {
 
 	// PerClass breaks requests and misses down by request class.
 	PerClass []ClassStats
+
+	// PerPhase breaks entries down by request phase (one prefill row
+	// and one decode row); nil for single-phase streams, so reports
+	// over the existing mixes are unchanged.
+	PerPhase []PhaseStats
+
+	// Tokens counts generated tokens: completed decode entries times
+	// their class batch size. TokensPerMcycle is Tokens per million
+	// cycles of makespan — the transformer serving headline
+	// (tokens/sec at the configured clock). Zero for single-phase
+	// streams.
+	Tokens          int
+	TokensPerMcycle float64
 }
 
 // Attainment returns the SLA attainment: the fraction of requests that
@@ -104,12 +139,37 @@ func BuildReportShed(s *Stream, res *sim.Result, shed []bool) *Report {
 	for i := range perClass {
 		perClass[i].Class = s.Classes[i]
 	}
+	// Multi-phase streams additionally get one prefill and one decode
+	// row (PhaseSingle entries of a mixed stream are covered by their
+	// class row).
+	var perPhase []PhaseStats
+	var phaseHist []metrics.Histogram
+	phaseRow := func(i int) *PhaseStats {
+		if perPhase == nil {
+			return nil
+		}
+		switch s.PhaseOf[i] {
+		case PhasePrefill:
+			return &perPhase[0]
+		case PhaseDecode:
+			return &perPhase[1]
+		}
+		return nil
+	}
+	if s.PhaseOf != nil {
+		perPhase = []PhaseStats{{Phase: PhasePrefill}, {Phase: PhaseDecode}}
+		phaseHist = make([]metrics.Histogram, len(perPhase))
+	}
 	for i := range s.Nets {
 		ci := s.ClassOf[i]
 		if i < len(shed) && shed[i] {
 			r.Shed++
 			perClass[ci].Requests++
 			perClass[ci].Shed++
+			if ps := phaseRow(i); ps != nil {
+				ps.Entries++
+				ps.Shed++
+			}
 			continue
 		}
 		if i >= len(res.NetFinish) || i >= len(res.NetArrive) {
@@ -119,9 +179,20 @@ func BuildReportShed(s *Stream, res *sim.Result, shed []bool) *Report {
 		r.Latency.Record(lat)
 		perClass[ci].Requests++
 		classHist[ci].Record(lat)
-		if res.NetFinish[i] > s.Deadlines[i] {
+		miss := res.NetFinish[i] > s.Deadlines[i]
+		if miss {
 			r.Misses++
 			perClass[ci].Misses++
+		}
+		if ps := phaseRow(i); ps != nil {
+			ps.Entries++
+			phaseHist[ps.Phase-PhasePrefill].Record(lat)
+			if miss {
+				ps.Misses++
+			}
+			if s.PhaseOf[i] == PhaseDecode && ci < len(s.ClassBatch) {
+				r.Tokens += s.ClassBatch[ci]
+			}
 		}
 	}
 	for i := range perClass {
@@ -130,7 +201,18 @@ func BuildReportShed(s *Stream, res *sim.Result, shed []bool) *Report {
 			perClass[i].MissRate = float64(perClass[i].Misses) / float64(served)
 		}
 	}
+	for i := range perPhase {
+		perPhase[i].P50 = phaseHist[i].Quantile(50)
+		perPhase[i].P99 = phaseHist[i].Quantile(99)
+		if served := perPhase[i].Entries - perPhase[i].Shed; served > 0 {
+			perPhase[i].MissRate = float64(perPhase[i].Misses) / float64(served)
+		}
+	}
 	r.PerClass = perClass
+	r.PerPhase = perPhase
+	if r.Makespan > 0 {
+		r.TokensPerMcycle = float64(r.Tokens) / float64(r.Makespan) * 1e6
+	}
 	r.P50 = r.Latency.Quantile(50)
 	r.P95 = r.Latency.Quantile(95)
 	r.P99 = r.Latency.Quantile(99)
@@ -176,6 +258,18 @@ func (r *Report) Publish(reg *obs.Registry) {
 	reg.Gauge(sl("aimt_serve_throughput_per_mcycle")).Set(r.Throughput)
 	reg.Gauge(sl("aimt_serve_pe_util")).Set(r.PEUtil)
 	reg.Gauge(sl("aimt_serve_mem_util")).Set(r.MemUtil)
+	for _, ps := range r.PerPhase {
+		pl := func(name string) string { return obs.Label(sl(name), "phase", ps.Phase.String()) }
+		reg.Counter(pl("aimt_serve_phase_requests_total")).Add(int64(ps.Entries))
+		reg.Counter(pl("aimt_serve_phase_sla_misses_total")).Add(int64(ps.Misses))
+		if ps.Shed > 0 {
+			reg.Counter(pl("aimt_serve_phase_shed_total")).Add(int64(ps.Shed))
+		}
+		reg.Gauge(pl("aimt_serve_phase_p99_cycles")).Set(float64(ps.P99))
+	}
+	if r.PerPhase != nil {
+		reg.Gauge(sl("aimt_serve_tokens_per_mcycle")).Set(r.TokensPerMcycle)
+	}
 }
 
 // Serve runs one stream under one scheduler and reports SLA
@@ -185,6 +279,7 @@ func (r *Report) Publish(reg *obs.Registry) {
 // published on completion.
 func Serve(cfg arch.Config, s *Stream, sch sim.Scheduler, opts sim.Options) (*Report, error) {
 	opts.Arrivals = s.Arrivals
+	opts.ChainAfter = s.ChainAfter
 	if opts.Metrics != nil && opts.NetClasses == nil {
 		opts.NetClasses = s.NetClasses()
 	}
@@ -335,6 +430,7 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 				New:       func() sim.Scheduler { return spec.New(cfg, s) },
 				Opts: sim.Options{
 					Arrivals:   s.Arrivals,
+					ChainAfter: s.ChainAfter,
 					Metrics:    opts.Metrics,
 					Ledger:     opts.Ledger,
 					NetClasses: netClasses,
@@ -362,13 +458,40 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 }
 
 // PrintCurve renders a load sweep as one table per offered-load point.
+// Points whose reports carry phase rows (transformer mixes) get
+// per-phase p99/miss and tokens-per-Mcycle columns; single-phase
+// sweeps render exactly as before.
 func PrintCurve(w io.Writer, points []CurvePoint) error {
 	for _, pt := range points {
-		t := metrics.NewTable("scheduler", "p50", "p99", "p99.9", "miss rate", "req/Mcyc", "PE util")
+		phased := false
 		for _, r := range pt.Reports {
-			t.AddRow(r.Scheduler,
-				fmt.Sprint(r.P50), fmt.Sprint(r.P99), fmt.Sprint(r.P999),
-				metrics.Pct(r.MissRate), metrics.F(r.Throughput), metrics.Pct(r.PEUtil))
+			if r.PerPhase != nil {
+				phased = true
+			}
+		}
+		var t *metrics.Table
+		if phased {
+			t = metrics.NewTable("scheduler", "p50", "p99", "miss rate",
+				"prefill p99", "prefill miss", "decode p99", "decode miss", "tok/Mcyc", "PE util")
+		} else {
+			t = metrics.NewTable("scheduler", "p50", "p99", "p99.9", "miss rate", "req/Mcyc", "PE util")
+		}
+		for _, r := range pt.Reports {
+			if phased {
+				var pre, dec PhaseStats
+				if len(r.PerPhase) == 2 {
+					pre, dec = r.PerPhase[0], r.PerPhase[1]
+				}
+				t.AddRow(r.Scheduler,
+					fmt.Sprint(r.P50), fmt.Sprint(r.P99), metrics.Pct(r.MissRate),
+					fmt.Sprint(pre.P99), metrics.Pct(pre.MissRate),
+					fmt.Sprint(dec.P99), metrics.Pct(dec.MissRate),
+					metrics.F(r.TokensPerMcycle), metrics.Pct(r.PEUtil))
+			} else {
+				t.AddRow(r.Scheduler,
+					fmt.Sprint(r.P50), fmt.Sprint(r.P99), fmt.Sprint(r.P999),
+					metrics.Pct(r.MissRate), metrics.F(r.Throughput), metrics.Pct(r.PEUtil))
+			}
 		}
 		if _, err := fmt.Fprintf(w, "offered load %.2f (mean gap %d)\n%s\n", pt.OfferedLoad, pt.MeanGap, t); err != nil {
 			return err

@@ -41,6 +41,18 @@ type Options struct {
 	// arrival at cycle zero.
 	Arrivals []arch.Cycles
 
+	// ChainAfter chains network instances into multi-phase requests:
+	// ChainAfter[i] = p (with 0 <= p < i) keeps instance i invisible
+	// until instance p finishes, whereupon i arrives at
+	// max(Arrivals[i], p's finish cycle). This is how a serving stream
+	// expresses autoregressive decode: each decode iteration is an
+	// instance chained after its predecessor, and Result.NetArrive
+	// reports the effective arrival so per-phase latency is measured
+	// from readiness, not enqueue. -1 (and entries beyond the slice)
+	// means unchained; nil preserves the single-phase behaviour
+	// bit-for-bit.
+	ChainAfter []int
+
 	// Metrics, when non-nil, receives live engine telemetry: block
 	// and split counters, per-engine busy-cycle totals, SRAM
 	// occupancy, the AVL_CB level, in-flight population and
@@ -161,6 +173,10 @@ type engine struct {
 	arrivalOrder []int
 	nextArrival  int
 
+	// chainSucc, when non-nil, maps each net to the chained phases that
+	// arrive when it finishes (Options.ChainAfter inverted).
+	chainSucc [][]int
+
 	// chk, when non-nil, validates machine-model invariants at every
 	// event (Options.CheckInvariants).
 	chk *checker
@@ -221,6 +237,20 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 			e.res.NetArrive[i] = opts.Arrivals[i]
 		}
 	}
+	for i := 0; i < len(nets) && i < len(opts.ChainAfter); i++ {
+		p := opts.ChainAfter[i]
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= i {
+			return nil, fmt.Errorf("sim: ChainAfter[%d] = %d must name an earlier instance or -1", i, p)
+		}
+		if e.chainSucc == nil {
+			e.chainSucc = make([][]int, len(nets))
+		}
+		e.chainSucc[p] = append(e.chainSucc[p], i)
+		v.nets[i].arrived = false // invisible until the predecessor finishes
+	}
 
 	for _, cn := range nets {
 		for _, l := range cn.Layers {
@@ -232,8 +262,12 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 	}
 
 	// Networks arriving at cycle zero start their host input transfer
-	// immediately; late arrivals do so when they arrive.
+	// immediately; late arrivals do so when they arrive. Chained phases
+	// join neither group: their predecessor's completion arrives them.
 	for i := range nets {
+		if e.chainSucc != nil && i < len(opts.ChainAfter) && opts.ChainAfter[i] >= 0 {
+			continue
+		}
 		if v.nets[i].arrived {
 			v.activeAdd(i)
 			if err := e.arrive(i); err != nil {
@@ -559,7 +593,9 @@ func (e *engine) completeCB() error {
 		}
 		s.layersLeft--
 		if s.layersLeft == 0 {
-			e.finishCompute(r.Net)
+			if err := e.finishCompute(r.Net); err != nil {
+				return err
+			}
 		}
 	}
 	if e.chk != nil {
@@ -627,14 +663,14 @@ func (e *engine) applySplit() error {
 	return nil
 }
 
-func (e *engine) finishCompute(net int) {
+func (e *engine) finishCompute(net int) error {
 	cn := e.v.nets[net].cn
 	c := e.v.cfg.HostCycles(cn.HostOutBytes)
 	if c == 0 {
-		e.finishNet(net)
-		return
+		return e.finishNet(net)
 	}
 	e.hostQ = append(e.hostQ, hostXfer{net: net, output: true, cycles: c})
+	return nil
 }
 
 func (e *engine) completeHost() error {
@@ -651,8 +687,7 @@ func (e *engine) completeHost() error {
 		v.om.hostBusyC.Add(int64(x.cycles))
 	}
 	if x.output {
-		e.finishNet(x.net)
-		return nil
+		return e.finishNet(x.net)
 	}
 	return e.finishHostIn(x.net)
 }
@@ -675,7 +710,7 @@ func (e *engine) finishHostIn(net int) error {
 	return nil
 }
 
-func (e *engine) finishNet(net int) {
+func (e *engine) finishNet(net int) error {
 	s := e.v.nets[net]
 	s.finished = true
 	s.finishAt = e.v.now
@@ -684,6 +719,45 @@ func (e *engine) finishNet(net int) {
 	if e.v.om != nil {
 		e.v.om.finish(net, len(e.v.active))
 	}
+	if e.chainSucc != nil {
+		for _, c := range e.chainSucc[net] {
+			if err := e.chainArrive(c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chainArrive arrives chained phase i now that its predecessor has
+// finished — immediately when its static arrival has passed (the
+// normal case: a decode iteration is ready the moment the previous
+// token completes), otherwise by queueing it with the ordinary late
+// arrivals.
+func (e *engine) chainArrive(i int) error {
+	v := e.v
+	s := v.nets[i]
+	if s.arrival > v.now {
+		e.deferArrival(i)
+		return nil
+	}
+	s.arrival = v.now
+	s.arrived = true
+	e.res.NetArrive[i] = v.now
+	v.activeAdd(i)
+	return e.arrive(i)
+}
+
+// deferArrival inserts net i into the pending suffix of arrivalOrder,
+// keeping it sorted by arrival cycle.
+func (e *engine) deferArrival(i int) {
+	pos := e.nextArrival
+	for pos < len(e.arrivalOrder) && e.v.nets[e.arrivalOrder[pos]].arrival <= e.v.nets[i].arrival {
+		pos++
+	}
+	e.arrivalOrder = append(e.arrivalOrder, 0)
+	copy(e.arrivalOrder[pos+1:], e.arrivalOrder[pos:])
+	e.arrivalOrder[pos] = i
 }
 
 func (e *engine) allDone() bool {

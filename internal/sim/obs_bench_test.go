@@ -104,3 +104,30 @@ func TestDisabledObsAddsNoPerEventAllocations(t *testing.T) {
 			delta, small, large)
 	}
 }
+
+// TestDisabledObsAddsNoPerEventAllocationsChained repeats the pin for
+// a transformer-style multi-phase stream: a prefill instance with N
+// decode instances chained behind it. Chain bookkeeping is O(nets)
+// setup; per-event cost must stay allocation-free.
+func TestDisabledObsAddsNoPerEventAllocationsChained(t *testing.T) {
+	cfg := testConfig(t)
+	run := func(iters int) float64 {
+		chain := []int{-1, 0, 1, 2}
+		return testing.AllocsPerRun(20, func() {
+			nets := []*compiler.CompiledNetwork{
+				chainNet("prefill", cfg, layerSpec{mb: 2, cb: 4, iters: iters, blocks: 1}),
+				chainNet("dec1", cfg, layerSpec{mb: 4, cb: 2, iters: iters, blocks: 1}),
+				chainNet("dec2", cfg, layerSpec{mb: 4, cb: 2, iters: iters, blocks: 1}),
+				chainNet("dec3", cfg, layerSpec{mb: 4, cb: 2, iters: iters, blocks: 1}),
+			}
+			if _, err := Run(cfg, nets, &scratchSerial{}, Options{ChainAfter: chain}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, large := run(64), run(512)
+	if delta := large - small; delta > 32 {
+		t.Errorf("8x the events grew allocations by %.0f (%.0f -> %.0f); chained disabled path is not allocation-free",
+			delta, small, large)
+	}
+}
