@@ -52,14 +52,15 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmission$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzTransformerCompile$$' -fuzztime $(FUZZTIME) .
 
-# Run the engine-throughput benchmarks and write BENCH_5.json
+# Run the engine-throughput benchmarks and write BENCH_8.json
 # (blocks/sec, ns/op, allocs/op per benchmark).
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/sim | tee bench.txt
-	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out BENCH_5.json
+	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out BENCH_8.json
 
 # Gate against the checked-in baseline; fails only on gross (2×)
-# ns/op regressions so runner-to-runner variance doesn't flake CI.
+# ns/op or allocs/op regressions so runner-to-runner variance doesn't
+# flake CI. The allocs gate is what pins the allocation-free core.
 benchcheck: bench
 	$(GO) run ./cmd/aimt-benchjson -in bench.txt -compare testdata/bench_baseline.json
 

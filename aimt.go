@@ -154,6 +154,22 @@ func Run(cfg Config, nets []*Compiled, s Scheduler, opts RunOptions) (*Result, e
 	return sim.Run(cfg, nets, s, opts)
 }
 
+// Engine is a simulation in progress that the caller can drive in
+// bounded increments (StepUntil), fork with O(state) Snapshot/Restore
+// and run to completion — the substrate of speculative lookahead
+// scheduling and predictive cluster dispatch; see sim.Engine.
+type Engine = sim.Engine
+
+// EngineSnapshot is a point-in-time copy of an Engine's mutable
+// machine state; see sim.Snapshot.
+type EngineSnapshot = sim.Snapshot
+
+// NewEngine returns an engine primed over the given workload, ready
+// to be stepped, snapshotted and run; see sim.NewEngine.
+func NewEngine(cfg Config, nets []*Compiled, s Scheduler, opts RunOptions) (*Engine, error) {
+	return sim.NewEngine(cfg, nets, s, opts)
+}
+
 // ErrInvariant wraps every violation the opt-in machine-model
 // invariant checker (RunOptions.CheckInvariants) reports; see
 // sim.ErrInvariant.
@@ -243,6 +259,16 @@ func BuildMix(cfg Config, spec MixSpec, batch int) (*Mix, error) {
 // capacity-bounded MB prefetching. deadlines[i] is network instance
 // i's absolute deadline in cycles (nil/short = none).
 func NewEDF(deadlines []Cycles) Scheduler { return sched.NewEDF(deadlines) }
+
+// NewLookahead wraps a scheduler with speculative lookahead: at each
+// contested memory-block decision (a capacity-critical and a
+// compute-heavy candidate both issuable) it snapshots the engine,
+// simulates both choices horizon cycles ahead under the inner policy,
+// and commits whichever kept the machine busier; everywhere else it
+// is exactly the inner scheduler. horizon <= 0 picks the default.
+func NewLookahead(inner Scheduler, horizon Cycles) *sched.Lookahead {
+	return sched.NewLookahead(inner, horizon)
+}
 
 // Serving subsystem (extension): open-loop streams, SLA tracking and
 // load sweeps; see the internal/serve package.
@@ -339,6 +365,12 @@ func ServeLoadCurve(cfg Config, classes []ServeClass, schedulers []SchedulerSpec
 // CB-split path. With uniform priorities it is bit-identical to the
 // plain AI-MT spec.
 func ServePreemptiveAIMT() SchedulerSpec { return serve.PreemptiveAIMT() }
+
+// ServeLookaheadAIMT returns the speculative lookahead scheduler over
+// the full AI-MT stack as a serving spec; horizon <= 0 uses the
+// default. Opt-in (it is not in ServeStandardSchedulers) because each
+// contested decision simulates both branches a horizon ahead.
+func ServeLookaheadAIMT(horizon Cycles) SchedulerSpec { return serve.LookaheadAIMT(horizon) }
 
 // BuildServeReportShed folds a simulation result into a report where
 // admission control shed some requests; see serve.BuildReportShed.

@@ -131,8 +131,16 @@ func compare(cur, base *Report, threshold float64) error {
 				want.key(), b.NsPerOp, threshold, want.NsPerOp))
 			continue
 		}
-		fmt.Printf("ok  %-50s %12.0f ns/op (baseline %.0f, limit %.1f×)\n",
-			want.key(), b.NsPerOp, want.NsPerOp, threshold)
+		// The allocation gate protects the allocation-free engine core:
+		// a change that reintroduces per-event allocations shows up as
+		// an order-of-magnitude allocs/op jump, far past the 2× limit.
+		if want.AllocsPerOp > 0 && b.AllocsPerOp > threshold*want.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds %.1f× baseline %.0f allocs/op",
+				want.key(), b.AllocsPerOp, threshold, want.AllocsPerOp))
+			continue
+		}
+		fmt.Printf("ok  %-50s %12.0f ns/op %8.0f allocs/op (baseline %.0f / %.0f, limit %.1f×)\n",
+			want.key(), b.NsPerOp, b.AllocsPerOp, want.NsPerOp, want.AllocsPerOp, threshold)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("throughput regression:\n  %s", strings.Join(failures, "\n  "))

@@ -12,6 +12,7 @@
 //	aimt-serve -loads 0.3,0.9,1.2      # explicit offered loads
 //	aimt-serve -process bursty         # bursty arrivals
 //	aimt-serve -sched FIFO,EDF         # subset of schedulers
+//	aimt-serve -sched lookahead        # opt-in speculative lookahead
 //	aimt-serve -cpuprofile cpu.pprof   # profile the sweep (pprof)
 //
 // With -chips N (or -route) the sweep runs against a simulated
@@ -70,19 +71,19 @@ import (
 )
 
 type options struct {
-	requests  int
-	process   string
-	loads     string
-	scheds    string
-	seed      int64
-	parallel  int
-	check     bool
-	chips     int
-	route     string
-	perchip   bool
-	admission bool
-	prios     bool
-	autoscale bool
+	requests    int
+	process     string
+	loads       string
+	scheds      string
+	seed        int64
+	parallel    int
+	check       bool
+	chips       int
+	route       string
+	perchip     bool
+	admission   bool
+	prios       bool
+	autoscale   bool
 	admin       string
 	hold        time.Duration
 	ledgerOut   string
@@ -99,7 +100,7 @@ func main() {
 	flag.IntVar(&opts.requests, "requests", 10_000, "requests per load point")
 	flag.StringVar(&opts.process, "process", "poisson", "arrival process: poisson or bursty")
 	flag.StringVar(&opts.loads, "loads", "", "comma-separated offered loads (empty = default sweep)")
-	flag.StringVar(&opts.scheds, "sched", "", "comma-separated scheduler subset (empty = all)")
+	flag.StringVar(&opts.scheds, "sched", "", "comma-separated scheduler subset (empty = all standard; 'lookahead' opts into the speculative scheduler)")
 	flag.Int64Var(&opts.seed, "seed", 7, "stream seed")
 	flag.IntVar(&opts.parallel, "parallel", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&opts.check, "check", false, "run the machine-model invariant checker on every simulation")
@@ -210,12 +211,16 @@ func run(opts options) error {
 
 	schedulers := aimt.ServeStandardSchedulers()
 	if opts.scheds != "" {
+		// The speculative lookahead scheduler is selectable by name but
+		// not part of the default sweep: every contested decision costs
+		// two horizon-length forward simulations.
+		available := append(schedulers, aimt.ServeLookaheadAIMT(0))
 		keep := map[string]bool{}
 		for _, n := range strings.Split(opts.scheds, ",") {
 			keep[strings.ToUpper(strings.TrimSpace(n))] = true
 		}
 		var sel []aimt.SchedulerSpec
-		for _, s := range schedulers {
+		for _, s := range available {
 			if keep[strings.ToUpper(s.Name)] {
 				sel = append(sel, s)
 			}

@@ -850,6 +850,116 @@ func PrintDecodeBatch(w io.Writer, cfg Config) error {
 	return err
 }
 
+// LookaheadHorizons are the speculation horizons swept by the
+// lookahead experiment, in cycles.
+var LookaheadHorizons = []Cycles{1024, 4096, 16384}
+
+// LookaheadBatches are the batch sizes swept by the lookahead
+// experiment.
+var LookaheadBatches = []int{1, 4}
+
+// LookaheadPoint is one (mix, batch, horizon) cell of the lookahead
+// experiment.
+type LookaheadPoint struct {
+	// Mix is the mix name annotated with the batch size.
+	Mix string
+	// Batch is the per-network batch size.
+	Batch int
+	// Horizon is the speculation depth in cycles.
+	Horizon Cycles
+	// AIMTMakespan and LookaheadMakespan are the exact completion
+	// cycles under plain AI-MT and under Lookahead(AI-MT).
+	AIMTMakespan, LookaheadMakespan Cycles
+	// Speedup is AIMTMakespan / LookaheadMakespan.
+	Speedup float64
+}
+
+// lookaheadMixSpecs returns the contended paper mixes — several
+// compute-intensive networks racing one memory-intensive network for
+// block SRAM. These are the mixes where AI-MT's static issue
+// heuristics face genuinely ambiguous fetch decisions, so forward
+// simulation has room to improve on them; in the two-network mixes the
+// contested decisions are rare and short horizons can even mislead.
+func lookaheadMixSpecs() []workload.Spec {
+	var out []workload.Spec
+	for _, s := range PaperMixes() {
+		if len(s.Compute) > 1 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LookaheadData runs the contended paper mixes under plain AI-MT and
+// under Lookahead(AI-MT) at every horizon, returning the exact
+// makespans. Lookahead commits a speculative decision only when the
+// forward simulation shows a strict progress win and otherwise defers
+// to the inner policy, so on these mixes its makespan is never worse
+// than AI-MT's and strictly better where speculation pays.
+func LookaheadData(cfg Config) ([]LookaheadPoint, error) {
+	var jobs []sweep.Job
+	for _, batch := range LookaheadBatches {
+		for _, spec := range lookaheadMixSpecs() {
+			mix, err := BuildMix(cfg, spec, batch)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s@batch%d", mix.Name, batch)
+			jobs = append(jobs, sweep.Job{Mix: label, Cfg: cfg, Nets: mix.Nets,
+				New: func() Scheduler { return NewAIMT(cfg, AllMechanisms()) }})
+			for _, h := range LookaheadHorizons {
+				jobs = append(jobs, sweep.Job{Mix: label, Cfg: cfg, Nets: mix.Nets,
+					New: func() Scheduler { return NewLookahead(NewAIMT(cfg, AllMechanisms()), h) }})
+			}
+		}
+	}
+	outs, err := runSweep(jobs)
+	if err != nil {
+		return nil, err
+	}
+	stride := 1 + len(LookaheadHorizons)
+	var out []LookaheadPoint
+	i := 0
+	for _, batch := range LookaheadBatches {
+		for range lookaheadMixSpecs() {
+			base := outs[i].Res
+			for j, h := range LookaheadHorizons {
+				o := outs[i+1+j]
+				out = append(out, LookaheadPoint{
+					Mix:               o.Mix,
+					Batch:             batch,
+					Horizon:           h,
+					AIMTMakespan:      base.Makespan,
+					LookaheadMakespan: o.Res.Makespan,
+					Speedup:           metrics.Speedup(base, o.Res),
+				})
+			}
+			i += stride
+		}
+	}
+	return out, nil
+}
+
+// PrintLookahead renders the lookahead experiment: exact makespans so
+// the never-worse property is visible cycle by cycle.
+func PrintLookahead(w io.Writer, cfg Config) error {
+	pts, err := LookaheadData(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Speculative lookahead (extension): forward-simulated contested fetches vs AI-MT, contended mixes\n"); err != nil {
+		return err
+	}
+	t := metrics.NewTable("mix", "horizon", "AI-MT makespan", "Lookahead makespan", "speedup")
+	for _, p := range pts {
+		t.AddRow(p.Mix, fmt.Sprint(p.Horizon),
+			fmt.Sprint(p.AIMTMakespan), fmt.Sprint(p.LookaheadMakespan),
+			metrics.F(p.Speedup))
+	}
+	_, err = fmt.Fprintf(w, "%s", t)
+	return err
+}
+
 // SpatialData returns, per zoo network, the mean spatial MAC
 // utilization of the weight-stationary mapping — the §VI-B headroom a
 // spatial co-execution extension could reclaim.
@@ -986,6 +1096,7 @@ func Experiments() []Experiment {
 		{ID: "overloadcurve", Title: "Overload degradation: admission, priorities and autoscaling under saturation (extension)", Run: PrintOverloadCurve},
 		{ID: "transformermix", Title: "Transformer/CNN mix: phase-aware serving load sweep (extension)", Run: PrintTransformerMix},
 		{ID: "decodebatch", Title: "Decode batching: tokens per megacycle vs batch size (extension)", Run: PrintDecodeBatch},
+		{ID: "lookahead", Title: "Speculative lookahead: forward-simulated contested fetches vs AI-MT (extension)", Run: PrintLookahead},
 		{ID: "spatial", Title: "Spatial PE utilization headroom (extension)", Run: PrintSpatial},
 	}
 }

@@ -164,8 +164,14 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		st     ctlStats
 		err    error
 	)
-	if opts.Control.enabled() {
-		assign, shed, st, err = dispatchControlled(s, pol, chips, opts.Control, opts.Ledger)
+	ctl := opts.Control
+	if pol.Name() == "predictive" {
+		// The predictive policy is meaningless without the predictor;
+		// selecting it opts into forward-simulated ETAs implicitly.
+		ctl.Predictive = true
+	}
+	if ctl.enabled() {
+		assign, shed, st, err = dispatchControlled(cfg, s, pol, chips, ctl, opts.Ledger)
 	} else {
 		assign, err = Dispatch(s, pol, chips)
 		st.active = chips

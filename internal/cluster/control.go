@@ -45,10 +45,25 @@ type Control struct {
 	// Patience is how many consecutive arrivals must cross a threshold
 	// before the active set changes; <= 0 means 8.
 	Patience int
+
+	// Predictive replaces the dispatcher's static drain-then-serve ETA
+	// arithmetic with a bounded forward simulation of each candidate
+	// chip's recent workload plus the request on the real machine
+	// model (see View.PredictETA). It upgrades the deadline routing
+	// policy and the admission check; routing policies that never
+	// consult ETAs are unaffected. Serve turns it on implicitly for
+	// the "predictive" policy.
+	Predictive bool
+
+	// PredictWindow bounds each prediction to the chip's most recent
+	// routed requests; <= 0 means 8. The window is what keeps a
+	// per-request simulation cheap and is also the model's horizon:
+	// requests older than the window are assumed drained.
+	PredictWindow int
 }
 
 // enabled reports whether any control-plane mechanism is on.
-func (c Control) enabled() bool { return c.Admission || c.Autoscale }
+func (c Control) enabled() bool { return c.Admission || c.Autoscale || c.Predictive }
 
 // ctlStats carries the dispatch-time control-plane outcome into the
 // cluster result.
@@ -84,7 +99,7 @@ func ctlNote(led *obs.Ledger, cycle arch.Cycles, kind string, net int, detail ar
 // the shed mask, and the control-plane stats. With admission off and
 // the active set pinned at the full cluster it routes identically to
 // Dispatch.
-func dispatchControlled(s *serve.Stream, pol Policy, chips int, ctl Control, led *obs.Ledger) ([]int, []bool, ctlStats, error) {
+func dispatchControlled(cfg arch.Config, s *serve.Stream, pol Policy, chips int, ctl Control, led *obs.Ledger) ([]int, []bool, ctlStats, error) {
 	if chips <= 0 {
 		return nil, nil, ctlStats{}, fmt.Errorf("cluster: chips must be positive, got %d", chips)
 	}
@@ -135,6 +150,9 @@ func dispatchControlled(s *serve.Stream, pol Policy, chips int, ctl Control, led
 		classes: len(s.Classes),
 		freeAt:  make([]arch.Cycles, chips),
 		counts:  make([]int, chips),
+	}
+	if ctl.Predictive {
+		v.pred = newPredictor(cfg, s, chips, ctl.PredictWindow)
 	}
 	assign := make([]int, len(s.Nets))
 	shed := make([]bool, len(s.Nets))
@@ -202,9 +220,13 @@ func dispatchControlled(s *serve.Stream, pol Policy, chips int, ctl Control, led
 		}
 
 		if ctl.Admission && r.Priority == minPrio {
-			best := v.ETA(0, r)
+			// The admission check reads the PredictETA seam: static
+			// arithmetic normally, the forward-simulated completion
+			// when the predictor is on — shedding decisions then see
+			// the multi-tenant overlap the serial sum cannot.
+			best := v.PredictETA(0, r)
 			for c := 1; c < active; c++ {
-				if eta := v.ETA(c, r); eta < best {
+				if eta := v.PredictETA(c, r); eta < best {
 					best = eta
 				}
 			}

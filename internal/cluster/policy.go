@@ -43,6 +43,12 @@ type View struct {
 	classes int
 	freeAt  []arch.Cycles // estimated cycle each chip drains its queue
 	counts  []int         // requests routed to each chip so far
+
+	// pred, when the control plane enables prediction, refines ETA
+	// queries by bounded forward simulation of the chip's recent
+	// workload on the real machine model. Nil keeps every estimate
+	// static, bit-identical to the plain dispatcher.
+	pred *predictor
 }
 
 // Chips returns the cluster size.
@@ -71,6 +77,21 @@ func (v *View) ETA(chip int, r Request) arch.Cycles {
 	return start + r.Service
 }
 
+// PredictETA returns the best completion estimate available for
+// routing r to chip: the static drain-then-serve arithmetic when the
+// dispatcher has no predictor, or the bounded forward simulation of
+// the chip's recent workload plus r when the control plane enabled
+// prediction (Control.Predictive, or the "predictive" policy). The
+// deadline policy and admission control query this seam, so turning
+// prediction on upgrades both without changing their logic.
+func (v *View) PredictETA(chip int, r Request) arch.Cycles {
+	static := v.ETA(chip, r)
+	if v.pred == nil {
+		return static
+	}
+	return v.pred.eta(chip, r, static)
+}
+
 // Routed returns how many requests chip has received so far.
 func (v *View) Routed(chip int) int { return v.counts[chip] }
 
@@ -82,6 +103,9 @@ func (v *View) route(chip int, r Request) {
 	}
 	v.freeAt[chip] = start + r.Service
 	v.counts[chip]++
+	if v.pred != nil {
+		v.pred.record(chip, r.Index)
+	}
 }
 
 // Policy routes each request of a stream to one chip. Policies are
@@ -168,12 +192,39 @@ type Deadline struct{}
 // Name implements Policy.
 func (Deadline) Name() string { return "deadline" }
 
-// Pick implements Policy.
+// Pick implements Policy. It routes through the PredictETA seam, so
+// with the control plane's predictor attached the "earliest feasible
+// completion" is a forward-simulated one; without it the behaviour is
+// the original static estimate, bit for bit.
 func (Deadline) Pick(v *View, r Request) int {
 	best := 0
-	bestETA := v.ETA(0, r)
+	bestETA := v.PredictETA(0, r)
 	for c := 1; c < v.Chips(); c++ {
-		if eta := v.ETA(c, r); eta < bestETA {
+		if eta := v.PredictETA(c, r); eta < bestETA {
+			best, bestETA = c, eta
+		}
+	}
+	return best
+}
+
+// Predictive is the deadline policy with the forward-simulation
+// predictor always on: selecting it (cluster.ByName("predictive") or
+// aimt-serve -route predictive) makes Serve attach the predictor even
+// when the rest of the control plane is off. Each routing decision
+// simulates the candidate chips' recent workload plus the request on
+// the real machine model and picks the chip whose simulation finishes
+// the request soonest.
+type Predictive struct{}
+
+// Name implements Policy.
+func (Predictive) Name() string { return "predictive" }
+
+// Pick implements Policy.
+func (Predictive) Pick(v *View, r Request) int {
+	best := 0
+	bestETA := v.PredictETA(0, r)
+	for c := 1; c < v.Chips(); c++ {
+		if eta := v.PredictETA(c, r); eta < bestETA {
 			best, bestETA = c, eta
 		}
 	}
@@ -199,12 +250,18 @@ func Policies() []Spec {
 	}
 }
 
-// ByName resolves a routing policy spec from its name.
+// ByName resolves a routing policy spec from its name. The
+// "predictive" policy resolves here but is not part of Policies():
+// every routing decision costs chip-count forward simulations, so it
+// is compared only when asked for.
 func ByName(name string) (Spec, error) {
+	if name == "predictive" {
+		return Spec{Name: "predictive", New: func() Policy { return Predictive{} }}, nil
+	}
 	for _, s := range Policies() {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("cluster: unknown routing policy %q (have round-robin, least-work, class-affinity, deadline)", name)
+	return Spec{}, fmt.Errorf("cluster: unknown routing policy %q (have round-robin, least-work, class-affinity, deadline, predictive)", name)
 }

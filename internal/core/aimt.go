@@ -124,6 +124,7 @@ type AIMT struct {
 	// scratch buffers reused across picks.
 	mbs []sim.MBRef
 	cbs []sim.CBRef
+	ord []sim.MBRef
 }
 
 // Mechanisms selects which AI-MT mechanisms are active.
@@ -460,15 +461,18 @@ func (a *AIMT) rotateMBs(v *sim.View) {
 		}
 		return r
 	}
-	var ordered []sim.MBRef
+	a.ord = a.ord[:0]
 	for pri := 0; pri <= 3; pri++ {
 		for _, m := range a.mbs {
 			if rank(m) == pri {
-				ordered = append(ordered, m)
+				a.ord = append(a.ord, m)
 			}
 		}
 	}
-	a.mbs = ordered
+	// Swap the rank-ordered scratch in as the candidate buffer; the old
+	// buffer becomes next pick's scratch, so steady state allocates
+	// nothing.
+	a.mbs, a.ord = a.ord, a.mbs
 }
 
 // chooseTarget picks the next memory block. The reserve result, valid
@@ -688,7 +692,10 @@ func (a *AIMT) OnMBDone(v *sim.View, r sim.MBRef) {}
 // tenant's credit.
 func (a *AIMT) OnCBStart(v *sim.View, r sim.CBRef) {
 	if len(a.sq) > 0 && a.sq[0] == r {
-		a.sq = a.sq[1:]
+		// Shift in place rather than reslicing the front: a walking
+		// window would force every later append to grow a new backing
+		// array, allocating on each merge for the rest of the run.
+		a.sq = a.sq[:copy(a.sq, a.sq[1:])]
 		a.sqCycles -= v.CBCycles(r)
 		if a.sqCycles < 0 {
 			a.sqCycles = 0

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"aimt/internal/arch"
+	"aimt/internal/sim"
+)
+
+// aimtState captures every field of the AI-MT scheduler that decisions
+// depend on across picks: the AVL_CB counter and stall flag, the CB
+// selected queue, both round-robin pointers, the weighted-credit
+// ledger, and the eviction/reservation mode latches. The configuration
+// (mechanism switches, thresholds, priority tables) is immutable per
+// run and not captured.
+type aimtState struct {
+	avlCB       arch.Cycles
+	stalled     bool
+	sq          []sim.CBRef
+	sqCycles    arch.Cycles
+	rrMB, rrCB  int
+	hasCredits  bool
+	credits     []float64
+	lastAccrue  arch.Cycles
+	reserving   bool
+	evictActive int
+}
+
+// SaveState implements sim.StatefulScheduler, so engine snapshots can
+// rewind AI-MT's decision state and replay bit-identically.
+func (a *AIMT) SaveState(prev any) any {
+	st, _ := prev.(*aimtState)
+	if st == nil {
+		st = &aimtState{}
+	}
+	st.avlCB = a.avlCB
+	st.stalled = a.stalled
+	st.sq = append(st.sq[:0], a.sq...)
+	st.sqCycles = a.sqCycles
+	st.rrMB, st.rrCB = a.rrMB, a.rrCB
+	st.hasCredits = a.credits != nil
+	st.credits = append(st.credits[:0], a.credits...)
+	st.lastAccrue = a.lastAccrue
+	st.reserving = a.reserving
+	st.evictActive = a.evictActive
+	return st
+}
+
+// RestoreState implements sim.StatefulScheduler.
+func (a *AIMT) RestoreState(stAny any) {
+	st := stAny.(*aimtState)
+	a.avlCB = st.avlCB
+	a.stalled = st.stalled
+	a.sq = append(a.sq[:0], st.sq...)
+	a.sqCycles = st.sqCycles
+	a.rrMB, a.rrCB = st.rrMB, st.rrCB
+	if st.hasCredits {
+		a.credits = append(a.credits[:0], st.credits...)
+	} else {
+		a.credits = nil // lazily allocated on first accrue; keep it so
+	}
+	a.lastAccrue = st.lastAccrue
+	a.reserving = st.reserving
+	a.evictActive = st.evictActive
+}

@@ -38,6 +38,12 @@ const (
 	// the new active chip count.
 	KindScaleUp   = "scale-up"
 	KindScaleDown = "scale-down"
+	// KindLookahead is one committed speculative scheduling decision:
+	// the scheduler forked the machine state, simulated the contested
+	// choices Horizon cycles ahead, and committed the recorded block's
+	// branch. Detail carries the predicted busy-cycle delta over the
+	// losing branch.
+	KindLookahead = "lookahead"
 )
 
 // Stall attribution: which resource bounded the machine at the moment
@@ -82,8 +88,11 @@ type Decision struct {
 	// Detail carries the decision's magnitude in cycles: the fetch
 	// length for a prefetch, the claimed compute for a merge, the
 	// blocked fetch length for an eviction, the remaining work for a
-	// split.
+	// split, the predicted progress delta for a lookahead.
 	Detail arch.Cycles `json:"detail,omitempty"`
+	// Horizon, for lookahead decisions, is how many cycles ahead the
+	// branches were simulated before committing.
+	Horizon arch.Cycles `json:"horizon,omitempty"`
 }
 
 // Ledger is a bounded, concurrency-safe ring of decisions. Appends

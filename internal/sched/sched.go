@@ -55,6 +55,13 @@ func (b *base) OnCBStart(v *sim.View, r sim.CBRef) {
 	}
 }
 
+// ForceMB records a memory-block issue the policy did not pick
+// itself: a wrapping scheduler (Lookahead) committed r directly, and
+// the matching compute block must still run in issue order. Without
+// this the issue-order queue would desynchronize from the machine and
+// the forced block's weights would sit in SRAM forever.
+func (b *base) ForceMB(v *sim.View, r sim.MBRef) { b.enqueue(r) }
+
 // candidates returns the issuable memory blocks under the depth bound.
 func (b *base) candidates(v *sim.View) []sim.MBRef {
 	b.mbs = b.mbs[:0]

@@ -314,6 +314,23 @@ func StandardSchedulers() []SchedulerSpec {
 	}
 }
 
+// LookaheadAIMT returns the speculative lookahead scheduler wrapped
+// around the full AI-MT mechanism stack: contested fetch decisions
+// (a memory-intensive and a compute-heavy block both issuable) are
+// resolved by snapshotting the engine and simulating both branches a
+// horizon ahead instead of by AI-MT's static load-matching heuristic.
+// horizon <= 0 uses the lookahead default. It is not part of
+// StandardSchedulers: speculation multiplies simulated cycles by the
+// number of forks, so it is opt-in (aimt-serve -sched lookahead).
+func LookaheadAIMT(horizon arch.Cycles) SchedulerSpec {
+	return SchedulerSpec{
+		Name: "Lookahead",
+		New: func(cfg arch.Config, _ *Stream) sim.Scheduler {
+			return sched.NewLookahead(core.New(cfg, core.All()), horizon)
+		},
+	}
+}
+
 // PreemptiveAIMT returns the full AI-MT mechanism stack with the
 // stream's class priorities driving cross-request preemption: a
 // higher-priority request's ready compute blocks displace a

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"aimt/internal/arch"
 	"aimt/internal/compiler"
@@ -150,10 +151,24 @@ type hostXfer struct {
 	cycles arch.Cycles
 }
 
-type engine struct {
+// Engine is one simulation in progress: the machine state (View), the
+// scheduler driving it, and the event loop. The free function Run
+// drives a pooled engine start-to-finish; NewEngine hands the caller
+// an engine it can step in bounded increments (StepUntil) and fork
+// with O(state) Snapshot/Restore — the substrate speculative
+// schedulers and predictive dispatchers forward-simulate on.
+type Engine struct {
 	v    *View
+	view View
 	sch  Scheduler
 	opts Options
+
+	// arena backs every net's per-layer bookkeeping (see stateArena);
+	// states and netPtrs are the grow-only netState storage the View's
+	// nets slice points into.
+	arena   stateArena
+	states  []netState
+	netPtrs []*netState
 
 	// hostQ is a FIFO popped at hostHead: popping by reslicing the
 	// front would pin the backing array (and every completed transfer
@@ -174,61 +189,156 @@ type engine struct {
 	nextArrival  int
 
 	// chainSucc, when non-nil, maps each net to the chained phases that
-	// arrive when it finishes (Options.ChainAfter inverted).
+	// arrive when it finishes (Options.ChainAfter inverted). chainBuf
+	// is its pooled backing.
 	chainSucc [][]int
+	chainBuf  [][]int
 
 	// chk, when non-nil, validates machine-model invariants at every
-	// event (Options.CheckInvariants).
-	chk *checker
+	// event (Options.CheckInvariants). chkState is its pooled storage.
+	chk      *checker
+	chkState checker
 
 	// mbScratch and cbScratch are reused by the deadlock-diagnosis
 	// path so it allocates nothing.
 	mbScratch []MBRef
 	cbScratch []CBRef
 
+	// runID increments at every init; snapshots record it so a restore
+	// into a re-initialized (or pooled-and-reused) engine is rejected.
+	runID uint64
+
 	res Result
 }
+
+// EngineAware is implemented by schedulers that forward-simulate: the
+// engine hands itself to the scheduler once at run start, before any
+// decision is requested, so the scheduler can Snapshot/StepUntil/
+// Restore the very machine it is scheduling.
+type EngineAware interface {
+	AttachEngine(*Engine)
+}
+
+// StatefulScheduler is implemented by schedulers whose decision state
+// (queues, rotation cursors, token balances) must travel with engine
+// snapshots so that a restore replays bit-identically. SaveState
+// returns an opaque copy of the current state, reusing prev (a value
+// previously returned by SaveState on the same scheduler, or nil)
+// when possible; RestoreState reinstates a saved copy.
+type StatefulScheduler interface {
+	SaveState(prev any) any
+	RestoreState(st any)
+}
+
+// enginePool recycles engines (arena slabs, frontier backings, SRAM
+// tables, scratch buffers) across Run calls, which is what makes a
+// steady-state serve stream allocation-free per run.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
 
 // Run simulates the co-located execution of the given compiled
 // networks under the scheduler. All networks arrive at cycle zero in
 // slice order. cfg must have been validated.
 func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts Options) (*Result, error) {
-	if len(nets) == 0 {
-		return nil, errors.New("sim: no networks")
+	e := enginePool.Get().(*Engine)
+	res, err := func() (*Result, error) {
+		if err := e.init(cfg, nets, sch, opts); err != nil {
+			return nil, err
+		}
+		if err := e.complete(); err != nil {
+			return nil, err
+		}
+		return e.cloneResult(), nil
+	}()
+	e.release()
+	enginePool.Put(e)
+	return res, err
+}
+
+// NewEngine returns an engine primed over the given workload, ready to
+// be stepped (StepUntil), snapshotted and run. Unlike Run, the caller
+// owns the engine; nothing is pooled.
+func NewEngine(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts Options) (*Engine, error) {
+	e := new(Engine)
+	if err := e.init(cfg, nets, sch, opts); err != nil {
+		return nil, err
 	}
+	return e, nil
+}
+
+// init validates the workload and (re)builds the engine's state for a
+// fresh run, reusing every backing array from the previous run.
+func (e *Engine) init(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts Options) error {
+	if len(nets) == 0 {
+		return errors.New("sim: no networks")
+	}
+	totalLayers := 0
 	for _, cn := range nets {
 		if err := cn.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 		for _, l := range cn.Layers {
 			if l.MBBlocks > cfg.WeightBlocks() {
-				return nil, fmt.Errorf("sim: %s/%s needs %d SRAM blocks but the weight buffer holds %d",
+				return fmt.Errorf("sim: %s/%s needs %d SRAM blocks but the weight buffer holds %d",
 					cn.Name, l.Name, l.MBBlocks, cfg.WeightBlocks())
 			}
 		}
+		totalLayers += len(cn.Layers)
 	}
 	if opts.MaxCycles <= 0 {
 		opts.MaxCycles = 200_000_000_000
 	}
+	e.runID++
 
-	v := &View{cfg: cfg, buf: sram.NewBuffer(cfg.WeightBlocks())}
-	for _, cn := range nets {
-		v.nets = append(v.nets, newNetState(cn))
+	// Reset the view in place, keeping its recycled slices.
+	e.view = View{cfg: cfg, buf: e.view.buf, nets: e.netPtrs[:0], active: e.view.active[:0]}
+	v := &e.view
+	e.v = v
+	if v.buf == nil {
+		v.buf = sram.NewBuffer(cfg.WeightBlocks())
+	} else {
+		v.buf.Reset(cfg.WeightBlocks())
 	}
-	e := &engine{v: v, sch: sch, opts: opts}
+
+	e.arena.reset(totalLayers)
+	if cap(e.states) < len(nets) {
+		e.states = make([]netState, len(nets))
+	}
+	e.states = e.states[:len(nets)]
+	var intOff, layerOff int
+	for i, cn := range nets {
+		initNetState(&e.states[i], cn, &e.arena, &intOff, &layerOff)
+		v.nets = append(v.nets, &e.states[i])
+	}
+	e.netPtrs = v.nets
+
+	e.sch = sch
+	e.opts = opts
+	e.hostQ = e.hostQ[:0]
+	e.hostHead = 0
+	e.hostBusy = false
+	e.hostEnd = 0
+	e.curHost = hostXfer{}
+	e.arrivalOrder = e.arrivalOrder[:0]
+	e.nextArrival = 0
+	e.chainSucc = nil
+	e.chk = nil
 	if opts.CheckInvariants {
-		e.chk = newChecker(v)
+		e.chk = &e.chkState
+		e.chk.reset(v)
 	}
 	v.led = opts.Ledger
 	if opts.Metrics != nil {
 		v.om = newSimObs(opts.Metrics, opts.NetClasses, len(nets))
 		v.om.sramTotal.Set(float64(cfg.WeightBlocks()))
 	}
-	e.res.Scheduler = sch.Name()
-	e.res.BlockBytes = cfg.BlockBytes()
-	e.res.NetNames = make([]string, len(nets))
-	e.res.NetArrive = make([]arch.Cycles, len(nets))
-	e.res.NetFinish = make([]arch.Cycles, len(nets))
+
+	e.res = Result{
+		Scheduler:  sch.Name(),
+		BlockBytes: cfg.BlockBytes(),
+		NetNames:   resizeStrings(e.res.NetNames, len(nets)),
+		NetArrive:  resizeCycles(e.res.NetArrive, len(nets)),
+		NetFinish:  resizeCycles(e.res.NetFinish, len(nets)),
+	}
 	for i, cn := range nets {
 		e.res.NetNames[i] = cn.Name
 		if i < len(opts.Arrivals) && opts.Arrivals[i] > 0 {
@@ -243,10 +353,16 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 			continue
 		}
 		if p < 0 || p >= i {
-			return nil, fmt.Errorf("sim: ChainAfter[%d] = %d must name an earlier instance or -1", i, p)
+			return fmt.Errorf("sim: ChainAfter[%d] = %d must name an earlier instance or -1", i, p)
 		}
 		if e.chainSucc == nil {
-			e.chainSucc = make([][]int, len(nets))
+			if cap(e.chainBuf) < len(nets) {
+				e.chainBuf = make([][]int, len(nets))
+			}
+			e.chainSucc = e.chainBuf[:len(nets)]
+			for j := range e.chainSucc {
+				e.chainSucc[j] = e.chainSucc[j][:0]
+			}
 		}
 		e.chainSucc[p] = append(e.chainSucc[p], i)
 		v.nets[i].arrived = false // invisible until the predecessor finishes
@@ -261,6 +377,10 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 		v.mbTotal += st.MBCycles
 	}
 
+	if ea, ok := sch.(EngineAware); ok {
+		ea.AttachEngine(e)
+	}
+
 	// Networks arriving at cycle zero start their host input transfer
 	// immediately; late arrivals do so when they arrive. Chained phases
 	// join neither group: their predecessor's completion arrives them.
@@ -271,7 +391,7 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 		if v.nets[i].arrived {
 			v.activeAdd(i)
 			if err := e.arrive(i); err != nil {
-				return nil, err
+				return err
 			}
 		} else {
 			e.arrivalOrder = append(e.arrivalOrder, i)
@@ -280,24 +400,140 @@ func Run(cfg arch.Config, nets []*compiler.CompiledNetwork, sch Scheduler, opts 
 	sort.SliceStable(e.arrivalOrder, func(a, b int) bool {
 		return v.nets[e.arrivalOrder[a]].arrival < v.nets[e.arrivalOrder[b]].arrival
 	})
-
-	if err := e.loop(); err != nil {
-		return nil, err
-	}
-	e.res.Makespan = v.now
-	if e.chk != nil {
-		if err := e.chk.finish(&e.res); err != nil {
-			return nil, err
-		}
-	}
-	return &e.res, nil
+	return nil
 }
 
-func (e *engine) loop() error {
+// release drops every reference a pooled engine would otherwise pin
+// (compiled networks, the scheduler, observability sinks) while
+// keeping the backing arrays for reuse.
+func (e *Engine) release() {
+	for i := range e.states {
+		e.states[i].cn = nil
+	}
+	for i := range e.res.NetNames {
+		e.res.NetNames[i] = ""
+	}
+	e.sch = nil
+	e.opts = Options{}
+	e.view.led = nil
+	e.view.om = nil
+	e.chainSucc = nil
+	e.chk = nil
+	e.chkState.v = nil
+}
+
+// cloneResult copies the engine's result with fresh slices, so the
+// caller's Result survives the engine's reuse.
+func (e *Engine) cloneResult() *Result {
+	out := e.res
+	out.NetNames = append([]string(nil), e.res.NetNames...)
+	out.NetArrive = append([]arch.Cycles(nil), e.res.NetArrive...)
+	out.NetFinish = append([]arch.Cycles(nil), e.res.NetFinish...)
+	return &out
+}
+
+func resizeStrings(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = ""
+	}
+	return s
+}
+
+func resizeCycles(s []arch.Cycles, n int) []arch.Cycles {
+	if cap(s) < n {
+		return make([]arch.Cycles, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// complete runs the event loop to completion and finalizes the result.
+func (e *Engine) complete() error {
+	if _, err := e.loop(-1); err != nil {
+		return err
+	}
+	e.res.Makespan = e.v.now
+	if e.chk != nil {
+		if err := e.chk.finish(&e.res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run drives the engine from its current state to completion and
+// returns the result. It may be called after NewEngine, after a
+// Restore, or after StepUntil ran the run partway.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.complete(); err != nil {
+		return nil, err
+	}
+	return e.cloneResult(), nil
+}
+
+// StepUntil advances the simulation, processing every event up to and
+// including cycle limit. It returns done=true when the workload
+// completed at or before the limit; done=false means the next event
+// lies beyond the limit and the engine stopped without advancing to
+// it. A deadlock (no engine busy, work remaining) is always an error.
+func (e *Engine) StepUntil(limit arch.Cycles) (done bool, err error) {
+	if limit < 0 {
+		limit = 0
+	}
+	return e.loop(limit)
+}
+
+// Now returns the engine's current simulated cycle.
+func (e *Engine) Now() arch.Cycles { return e.v.now }
+
+// Config returns the hardware configuration being simulated.
+func (e *Engine) Config() arch.Config { return e.v.cfg }
+
+// Progress returns the total engine-busy cycles accumulated so far
+// (HBM channel plus PE complex) — the objective a speculative
+// scheduler compares across forked branches: whichever choice kept
+// the machine busier within the horizon wins.
+func (e *Engine) Progress() arch.Cycles {
+	return e.res.MemBusy + e.res.PEBusy
+}
+
+// NetFinishAt reports whether network instance i has finished and, if
+// so, at which cycle — the predicted completion a forward-simulating
+// dispatcher reads off after stepping a candidate schedule.
+func (e *Engine) NetFinishAt(i int) (arch.Cycles, bool) {
+	s := e.v.nets[i]
+	return s.finishAt, s.finished
+}
+
+// Quiesce mutes the engine's externally visible emission — metrics,
+// ledger and tracer — until the returned function is called.
+// Speculative stepping wraps itself in Quiesce so forked branches
+// leave no trace in the run's observability; the machine state the
+// speculation mutates is unwound separately by Snapshot/Restore.
+func (e *Engine) Quiesce() (restore func()) {
+	om, led, tr := e.v.om, e.v.led, e.opts.Tracer
+	e.v.om, e.v.led, e.opts.Tracer = nil, nil, nil
+	return func() {
+		e.v.om, e.v.led, e.opts.Tracer = om, led, tr
+	}
+}
+
+// loop is the event loop: schedule onto idle engines, advance to the
+// earliest completion or arrival, apply completions. limit >= 0 stops
+// before advancing past it (see StepUntil); limit < 0 runs to
+// completion.
+func (e *Engine) loop(limit arch.Cycles) (done bool, err error) {
 	v := e.v
 	for {
 		if err := e.scheduleAll(); err != nil {
-			return err
+			return false, err
 		}
 
 		// Advance to the earliest completion among busy engines, or to
@@ -317,16 +553,19 @@ func (e *engine) loop() error {
 
 		if next < 0 {
 			if e.allDone() {
-				return nil
+				return true, nil
 			}
-			return fmt.Errorf("%w at cycle %d: %s", ErrDeadlock, v.now, e.stuckDiagnosis())
+			return false, fmt.Errorf("%w at cycle %d: %s", ErrDeadlock, v.now, e.stuckDiagnosis())
+		}
+		if limit >= 0 && next > limit {
+			return false, nil
 		}
 		if next > e.opts.MaxCycles {
-			return fmt.Errorf("%w (%d)", ErrTimeLimit, e.opts.MaxCycles)
+			return false, fmt.Errorf("%w (%d)", ErrTimeLimit, e.opts.MaxCycles)
 		}
 		if e.chk != nil {
 			if err := e.chk.advance(next); err != nil {
-				return err
+				return false, err
 			}
 		}
 		v.now = next
@@ -337,17 +576,17 @@ func (e *engine) loop() error {
 
 		if v.memBusy && v.memEnd == v.now {
 			if err := e.completeMB(); err != nil {
-				return err
+				return false, err
 			}
 		}
 		if v.peBusy && v.peEnd == v.now {
 			if err := e.completeCB(); err != nil {
-				return err
+				return false, err
 			}
 		}
 		if e.hostBusy && e.hostEnd == v.now {
 			if err := e.completeHost(); err != nil {
-				return err
+				return false, err
 			}
 		}
 		for e.nextArrival < len(e.arrivalOrder) {
@@ -359,7 +598,7 @@ func (e *engine) loop() error {
 			v.nets[i].arrived = true
 			v.activeAdd(i)
 			if err := e.arrive(i); err != nil {
-				return err
+				return false, err
 			}
 		}
 	}
@@ -367,7 +606,7 @@ func (e *engine) loop() error {
 
 // arrive starts network net's host input transfer (or resolves it
 // immediately when the link is unconfigured or the input empty).
-func (e *engine) arrive(net int) error {
+func (e *Engine) arrive(net int) error {
 	if e.v.om != nil {
 		e.v.om.arrive(net, len(e.v.active))
 	}
@@ -381,7 +620,7 @@ func (e *engine) arrive(net int) error {
 
 // scheduleAll issues work onto idle engines until no further progress
 // is possible at the current cycle.
-func (e *engine) scheduleAll() error {
+func (e *Engine) scheduleAll() error {
 	v := e.v
 	for progress := true; progress; {
 		progress = false
@@ -427,7 +666,7 @@ func (e *engine) scheduleAll() error {
 	return nil
 }
 
-func (e *engine) issueMB(r MBRef) error {
+func (e *Engine) issueMB(r MBRef) error {
 	v := e.v
 	if !v.IsMBIssuable(r) {
 		return fmt.Errorf("sim: scheduler %s returned non-issuable MB %+v", e.sch.Name(), r)
@@ -468,7 +707,7 @@ func (e *engine) issueMB(r MBRef) error {
 	return nil
 }
 
-func (e *engine) completeMB() error {
+func (e *Engine) completeMB() error {
 	v := e.v
 	r := v.curMB
 	s := v.nets[r.Net]
@@ -520,7 +759,7 @@ func (e *engine) completeMB() error {
 	return nil
 }
 
-func (e *engine) startCB(r CBRef) error {
+func (e *Engine) startCB(r CBRef) error {
 	v := e.v
 	s := v.nets[r.Net]
 	if s.cbSelected[r.Layer] == s.cbDone[r.Layer] {
@@ -544,7 +783,7 @@ func (e *engine) startCB(r CBRef) error {
 	return nil
 }
 
-func (e *engine) completeCB() error {
+func (e *Engine) completeCB() error {
 	v := e.v
 	r := v.curCB
 	s := v.nets[r.Net]
@@ -611,7 +850,7 @@ func (e *engine) completeCB() error {
 }
 
 // applySplit halts the executing compute block at the current cycle.
-func (e *engine) applySplit() error {
+func (e *Engine) applySplit() error {
 	v := e.v
 	if !v.peBusy || v.now <= v.cbStart || v.peEnd <= v.now {
 		return nil // nothing meaningful to split; ignore the request
@@ -663,7 +902,7 @@ func (e *engine) applySplit() error {
 	return nil
 }
 
-func (e *engine) finishCompute(net int) error {
+func (e *Engine) finishCompute(net int) error {
 	cn := e.v.nets[net].cn
 	c := e.v.cfg.HostCycles(cn.HostOutBytes)
 	if c == 0 {
@@ -673,7 +912,7 @@ func (e *engine) finishCompute(net int) error {
 	return nil
 }
 
-func (e *engine) completeHost() error {
+func (e *Engine) completeHost() error {
 	v := e.v
 	x := e.curHost
 	e.hostBusy = false
@@ -692,7 +931,7 @@ func (e *engine) completeHost() error {
 	return e.finishHostIn(x.net)
 }
 
-func (e *engine) finishHostIn(net int) error {
+func (e *Engine) finishHostIn(net int) error {
 	s := e.v.nets[net]
 	s.hostInDone = true
 	for li, l := range s.cn.Layers {
@@ -710,7 +949,7 @@ func (e *engine) finishHostIn(net int) error {
 	return nil
 }
 
-func (e *engine) finishNet(net int) error {
+func (e *Engine) finishNet(net int) error {
 	s := e.v.nets[net]
 	s.finished = true
 	s.finishAt = e.v.now
@@ -734,7 +973,7 @@ func (e *engine) finishNet(net int) error {
 // normal case: a decode iteration is ready the moment the previous
 // token completes), otherwise by queueing it with the ordinary late
 // arrivals.
-func (e *engine) chainArrive(i int) error {
+func (e *Engine) chainArrive(i int) error {
 	v := e.v
 	s := v.nets[i]
 	if s.arrival > v.now {
@@ -750,7 +989,7 @@ func (e *engine) chainArrive(i int) error {
 
 // deferArrival inserts net i into the pending suffix of arrivalOrder,
 // keeping it sorted by arrival cycle.
-func (e *engine) deferArrival(i int) {
+func (e *Engine) deferArrival(i int) {
 	pos := e.nextArrival
 	for pos < len(e.arrivalOrder) && e.v.nets[e.arrivalOrder[pos]].arrival <= e.v.nets[i].arrival {
 		pos++
@@ -760,7 +999,7 @@ func (e *engine) deferArrival(i int) {
 	e.arrivalOrder[pos] = i
 }
 
-func (e *engine) allDone() bool {
+func (e *Engine) allDone() bool {
 	for _, s := range e.v.nets {
 		if !s.finished {
 			return false
@@ -774,7 +1013,7 @@ func (e *engine) allDone() bool {
 // nil check, so a run without a tracer never pays the string
 // allocation — this keeps the event hot loop allocation-free (see
 // BenchmarkSimulatorThroughput's allocs/op).
-func (e *engine) trace(engineName, prefix, name string, net, layer, iter int, start, end arch.Cycles) {
+func (e *Engine) trace(engineName, prefix, name string, net, layer, iter int, start, end arch.Cycles) {
 	if e.opts.Tracer != nil {
 		e.opts.Tracer.Event(engineName, prefix+name, net, layer, iter, start, end)
 	}
@@ -782,7 +1021,7 @@ func (e *engine) trace(engineName, prefix, name string, net, layer, iter int, st
 
 // stuckDiagnosis renders a short description of why no engine can make
 // progress, for deadlock errors.
-func (e *engine) stuckDiagnosis() string {
+func (e *Engine) stuckDiagnosis() string {
 	v := e.v
 	e.mbScratch = v.MBCandidates(e.mbScratch[:0])
 	e.cbScratch = v.ReadyCBs(e.cbScratch[:0])

@@ -59,11 +59,20 @@ type checker struct {
 
 	nets []netShadow
 
+	// layerSlab is the flat backing every netShadow's layers sub-slice
+	// is carved from, so a pooled checker resets without reallocating.
+	layerSlab []layerShadow
+
 	mbCount, cbCount, splitCount int
 
 	// Scratch buffers for the frontier-vs-scan comparison (invariant 6).
 	mbGot, mbWant []MBRef
 	cbGot, cbWant []CBRef
+
+	// chainPtrs caches the pointer list checkSRAM hands to sram.Check;
+	// the chains themselves live in the engine arena, so the pointers
+	// are stable for the whole run and are built once.
+	chainPtrs []*sram.Chain
 }
 
 // netShadow is the checker's independent progress record for one
@@ -92,11 +101,47 @@ type layerShadow struct {
 }
 
 func newChecker(v *View) *checker {
-	c := &checker{v: v, fill: v.cfg.FillLatency, nets: make([]netShadow, len(v.nets))}
-	for i, s := range v.nets {
-		c.nets[i].layers = make([]layerShadow, len(s.cn.Layers))
-	}
+	c := &checker{}
+	c.reset(v)
 	return c
+}
+
+// reset rebinds the checker to a fresh run over v, reusing its slab,
+// scratch and chain-pointer storage from the previous run.
+func (c *checker) reset(v *View) {
+	totalLayers := 0
+	for _, s := range v.nets {
+		totalLayers += len(s.cn.Layers)
+	}
+	*c = checker{
+		v:         v,
+		fill:      v.cfg.FillLatency,
+		nets:      c.nets[:0],
+		layerSlab: c.layerSlab[:0],
+		mbGot:     c.mbGot[:0], mbWant: c.mbWant[:0],
+		cbGot: c.cbGot[:0], cbWant: c.cbWant[:0],
+		chainPtrs: c.chainPtrs[:0],
+	}
+	if cap(c.nets) < len(v.nets) {
+		c.nets = make([]netShadow, 0, len(v.nets))
+	}
+	if cap(c.layerSlab) < totalLayers {
+		c.layerSlab = make([]layerShadow, 0, totalLayers)
+	}
+	slab := c.layerSlab[:totalLayers]
+	for i := range slab {
+		slab[i] = layerShadow{}
+	}
+	off := 0
+	for _, s := range v.nets {
+		n := len(s.cn.Layers)
+		c.nets = append(c.nets, netShadow{layers: slab[off : off+n : off+n]})
+		for i := range s.chains {
+			c.chainPtrs = append(c.chainPtrs, &s.chains[i])
+		}
+		off += n
+	}
+	c.layerSlab = slab
 }
 
 func (c *checker) violate(format string, args ...any) error {
@@ -335,13 +380,7 @@ func cbRefsEqual(a, b []CBRef) bool {
 // checkSRAM verifies the allocator's free list and per-layer chains
 // against each other (invariant 2's structural half).
 func (c *checker) checkSRAM() error {
-	var chains []*sram.Chain
-	for _, s := range c.v.nets {
-		for i := range s.chains {
-			chains = append(chains, &s.chains[i])
-		}
-	}
-	return c.v.buf.Check(chains)
+	return c.v.buf.Check(c.chainPtrs)
 }
 
 // finish runs the end-of-simulation checks: every sub-layer fetched

@@ -21,6 +21,7 @@ type simObs struct {
 	evictions  *obs.Counter // early-eviction capacity reservations
 	splits     *obs.Counter // halted compute blocks
 	preempts   *obs.Counter // priority preemption split requests
+	lookaheads *obs.Counter // committed speculative lookahead decisions
 	mbDone     *obs.Counter
 	cbDone     *obs.Counter
 	netsDone   *obs.Counter
@@ -56,6 +57,7 @@ func newSimObs(reg *obs.Registry, classes []string, numNets int) *simObs {
 		evictions:  reg.Counter("aimt_sim_evictions_total"),
 		splits:     reg.Counter("aimt_sim_cb_splits_total"),
 		preempts:   reg.Counter("aimt_sim_preempt_total"),
+		lookaheads: reg.Counter("aimt_sim_lookahead_total"),
 		mbDone:     reg.Counter("aimt_sim_mb_completed_total"),
 		cbDone:     reg.Counter("aimt_sim_cb_completed_total"),
 		netsDone:   reg.Counter("aimt_sim_nets_finished_total"),
@@ -179,4 +181,37 @@ func (v *View) NotePreemption(r CBRef) {
 		rem = remaining
 	}
 	v.note(obs.KindPreempt, r.Net, r.Layer, r.Iter, v.stallCause(0), rem)
+}
+
+// NoteLookahead records a committed speculative scheduling decision in
+// the run's decision ledger and metrics: the scheduler forked the
+// machine state at a contested choice, simulated the alternatives
+// horizon cycles ahead, and committed memory block r because its
+// branch kept the machine busier by delta cycles. Schedulers call it
+// once per committed speculation, after unmuting observability (the
+// speculative stepping itself runs under Quiesce and leaves no
+// trace). A no-op when the run has no ledger or registry attached.
+func (v *View) NoteLookahead(r MBRef, horizon, delta arch.Cycles) {
+	if v.om != nil {
+		v.om.lookaheads.Inc()
+	}
+	if v.led == nil {
+		return
+	}
+	// Detail carries the predicted progress delta; the horizon is
+	// encoded in the free-form field so both survive the ring.
+	d := obs.Decision{
+		Cycle:     v.now,
+		Kind:      obs.KindLookahead,
+		Net:       r.Net,
+		Layer:     r.Layer,
+		Iter:      r.Iter,
+		SRAMUsed:  v.buf.UsedBlocks(),
+		SRAMTotal: v.buf.NumBlocks(),
+		AvailCB:   v.availCB,
+		Stall:     v.stallCause(0),
+		Detail:    delta,
+		Horizon:   horizon,
+	}
+	v.led.Record(d)
 }

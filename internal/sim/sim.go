@@ -116,21 +116,75 @@ type netState struct {
 	finishAt   arch.Cycles
 }
 
-func newNetState(cn *compiler.CompiledNetwork) *netState {
+// stateArena carves every net's per-layer bookkeeping out of three
+// flat, grow-only slabs — a struct-of-arrays layout. Each netState's
+// slices are fixed-capacity sub-slices of the slabs, so a pooled
+// engine re-running a same-shaped workload allocates nothing, and a
+// snapshot of the whole machine is three bulk copies (plus per-net
+// scalars) instead of a walk over thousands of tiny slices. The
+// frontier sub-slices are carved with capacity equal to the net's
+// layer count — a frontier can never hold more than one entry per
+// layer, so frontAdd's append can never grow past the carve.
+type stateArena struct {
+	ints   []int         // 8 ints per layer: 6 counters + 2 frontier backings
+	cycles []arch.Cycles // 1 per layer: remnant
+	chains []sram.Chain  // 1 per layer
+}
+
+// reset clears and re-carves the arena for a workload with the given
+// total layer count, reusing capacity when possible.
+func (a *stateArena) reset(totalLayers int) {
+	ni, nc := totalLayers*8, totalLayers
+	if cap(a.ints) < ni {
+		a.ints = make([]int, ni)
+	}
+	if cap(a.cycles) < nc {
+		a.cycles = make([]arch.Cycles, nc)
+	}
+	if cap(a.chains) < nc {
+		a.chains = make([]sram.Chain, nc)
+	}
+	a.ints = a.ints[:ni]
+	a.cycles = a.cycles[:nc]
+	a.chains = a.chains[:nc]
+	for i := range a.ints {
+		a.ints[i] = 0
+	}
+	for i := range a.cycles {
+		a.cycles[i] = 0
+	}
+	for i := range a.chains {
+		a.chains[i] = sram.Chain{}
+	}
+}
+
+// carveInts takes the next n ints from the slab.
+func carveInts(slab []int, off *int, n int) []int {
+	s := slab[*off : *off+n : *off+n]
+	*off += n
+	return s
+}
+
+// initNetState wires one net's state into the arena slabs (already
+// zeroed by reset) and seeds its dependency counts and MB frontier.
+func initNetState(s *netState, cn *compiler.CompiledNetwork, a *stateArena, intOff, layerOff *int) {
 	n := len(cn.Layers)
-	s := &netState{
+	*s = netState{
 		cn:         cn,
-		mbIndeg:    make([]int, n),
-		cbIndeg:    make([]int, n),
-		mbIssued:   make([]int, n),
-		mbDone:     make([]int, n),
-		cbSelected: make([]int, n),
-		cbDone:     make([]int, n),
-		remnant:    make([]arch.Cycles, n),
-		chains:     make([]sram.Chain, n),
+		mbIndeg:    carveInts(a.ints, intOff, n),
+		cbIndeg:    carveInts(a.ints, intOff, n),
+		mbIssued:   carveInts(a.ints, intOff, n),
+		mbDone:     carveInts(a.ints, intOff, n),
+		cbSelected: carveInts(a.ints, intOff, n),
+		cbDone:     carveInts(a.ints, intOff, n),
+		mbFront:    carveInts(a.ints, intOff, n)[:0],
+		cbFront:    carveInts(a.ints, intOff, n)[:0],
+		remnant:    a.cycles[*layerOff : *layerOff+n : *layerOff+n],
+		chains:     a.chains[*layerOff : *layerOff+n : *layerOff+n],
 		layersLeft: n,
 		arrived:    true, // the engine clears this for late arrivals
 	}
+	*layerOff += n
 	for i, l := range cn.Layers {
 		s.mbIndeg[i] = len(l.Deps)
 		s.cbIndeg[i] = len(l.Deps)
@@ -145,6 +199,17 @@ func newNetState(cn *compiler.CompiledNetwork) *netState {
 		// cbFront starts empty: no weights are resident before the
 		// first MB completes, and root CB chains wait on host input.
 	}
+}
+
+// newNetState builds a standalone net state with its own slabs —
+// used by tests that assemble a View by hand; the engine carves all
+// nets out of one shared arena instead.
+func newNetState(cn *compiler.CompiledNetwork) *netState {
+	a := &stateArena{}
+	a.reset(len(cn.Layers))
+	s := &netState{}
+	var intOff, layerOff int
+	initNetState(s, cn, a, &intOff, &layerOff)
 	return s
 }
 

@@ -60,6 +60,45 @@ func NewBuffer(numBlocks int) *Buffer {
 	return b
 }
 
+// Reset reinitializes the buffer to numBlocks all-free blocks,
+// reusing the existing backing arrays when they are large enough.
+// It leaves the buffer exactly as NewBuffer would, so pooled
+// simulation engines can recycle one buffer across runs without
+// reallocating the management table.
+func (b *Buffer) Reset(numBlocks int) {
+	if numBlocks <= 0 {
+		panic(fmt.Sprintf("sram: non-positive block count %d", numBlocks))
+	}
+	if cap(b.next) < numBlocks {
+		b.next = make([]int32, numBlocks)
+		b.free = make([]int32, 0, numBlocks)
+	}
+	b.next = b.next[:numBlocks]
+	b.free = b.free[:0]
+	b.numBlocks = numBlocks
+	for i := numBlocks - 1; i >= 0; i-- {
+		b.next[i] = nilBlock
+		b.free = append(b.free, int32(i))
+	}
+}
+
+// SaveState copies the buffer's mutable state — the weight management
+// table and the free list — into the given slices (reusing their
+// capacity) and returns them. Together with the per-layer chains this
+// captures the allocator completely; see RestoreState.
+func (b *Buffer) SaveState(next, free []int32) (n, f []int32) {
+	next = append(next[:0], b.next...)
+	free = append(free[:0], b.free...)
+	return next, free
+}
+
+// RestoreState overwrites the buffer's mutable state with a copy
+// previously taken by SaveState on the same buffer geometry.
+func (b *Buffer) RestoreState(next, free []int32) {
+	b.next = append(b.next[:0], next...)
+	b.free = append(b.free[:0], free...)
+}
+
 // NumBlocks returns the buffer's total block count.
 func (b *Buffer) NumBlocks() int { return b.numBlocks }
 

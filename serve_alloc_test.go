@@ -1,0 +1,44 @@
+package aimt
+
+import "testing"
+
+// TestServeStreamAllocsFlatAt8x pins the allocation-free engine core
+// on the serving path: growing a serve stream's request count 8x must
+// not grow the per-run allocation count with it. The arena-backed
+// state, pooled engine and scratch-reusing schedulers make the
+// steady-state per-request cost zero allocations; only fixed per-run
+// setup (scheduler construction, the cloned result's slice headers)
+// and one-time arena growth at the larger size may allocate.
+func TestServeStreamAllocsFlatAt8x(t *testing.T) {
+	cfg := PaperConfig()
+	classes := DefaultServingClasses()
+	build := func(requests int) *ServeStream {
+		s, err := NewServeStream(cfg, classes, ServeStreamOptions{
+			Requests: requests,
+			Process:  ServePoisson,
+			Seed:     11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	run := func(s *ServeStream) float64 {
+		opts := RunOptions{Arrivals: s.Arrivals, ChainAfter: s.ChainAfter}
+		once := func() {
+			if _, err := Run(cfg, s.Nets, NewAIMT(cfg, AllMechanisms()), opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		once() // warm the pooled engine's arena to this stream's size
+		return testing.AllocsPerRun(10, once)
+	}
+	small := run(build(50))
+	large := run(build(400))
+	// 350 extra requests; any per-request or per-event allocation
+	// would add hundreds. Fixed setup differences stay far below this.
+	if delta := large - small; delta > 64 {
+		t.Errorf("8x the requests grew allocations by %.0f (%.0f -> %.0f); serve path is not allocation-free",
+			delta, small, large)
+	}
+}
