@@ -10,7 +10,7 @@ GO ?= go
 # must stay free, Enabled the full emission cost.
 BENCH_PATTERN ?= BenchmarkSimulatorThroughput|BenchmarkServeStream|BenchmarkCandidateScan|BenchmarkEngineObs
 
-.PHONY: check build test race vet lint fuzz-short bench benchall benchcheck profile golden
+.PHONY: check build test race vet lint fuzz-short bench benchall benchcheck bench-compare profile golden
 
 check: vet build race
 
@@ -52,17 +52,30 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzAdmission$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzTransformerCompile$$' -fuzztime $(FUZZTIME) .
 
-# Run the engine-throughput benchmarks and write BENCH_8.json
-# (blocks/sec, ns/op, allocs/op per benchmark).
+# Run the engine-throughput benchmarks and write $(BENCH_OUT)
+# (blocks/sec, ns/op, allocs/op per benchmark). Bump BENCH_OUT per PR
+# so the BENCH_*.json series accumulates as run history for /runs.
+BENCH_OUT ?= BENCH_9.json
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . ./internal/sim | tee bench.txt
-	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out BENCH_8.json
+	$(GO) run ./cmd/aimt-benchjson -in bench.txt -out $(BENCH_OUT)
 
 # Gate against the checked-in baseline; fails only on gross (2×)
 # ns/op or allocs/op regressions so runner-to-runner variance doesn't
 # flake CI. The allocs gate is what pins the allocation-free core.
 benchcheck: bench
 	$(GO) run ./cmd/aimt-benchjson -in bench.txt -compare testdata/bench_baseline.json
+
+# Structured metric-by-metric diff of two recorded runs (BENCH json
+# files or runstore directories, dir[#runID]); exits nonzero when any
+# metric regressed beyond BENCH_NOISE in its unit's bad direction.
+# Defaults diff a fresh bench run against the checked-in baseline.
+BENCH_NOISE ?= 1.5
+COMPARE_OLD ?= testdata/bench_baseline.json
+COMPARE_NEW ?= $(BENCH_OUT)
+bench-compare:
+	@test -e $(COMPARE_NEW) || $(MAKE) bench BENCH_OUT=$(COMPARE_NEW)
+	$(GO) run ./cmd/aimt-benchjson -diff -noise $(BENCH_NOISE) $(COMPARE_OLD) $(COMPARE_NEW)
 
 # Every benchmark in the repo, including the paper-figure sweeps.
 benchall:

@@ -31,6 +31,7 @@ import (
 	"aimt/internal/core"
 	"aimt/internal/nn"
 	"aimt/internal/obs"
+	"aimt/internal/runstore"
 	"aimt/internal/sched"
 	"aimt/internal/serve"
 	"aimt/internal/sim"
@@ -491,3 +492,66 @@ func NewObsLedger(cap int) *ObsLedger { return obs.NewLedger(cap) }
 // text), /healthz and /debug/snapshot for the registry and ledger;
 // either may be nil.
 func ObsHandler(reg *ObsRegistry, led *ObsLedger) *http.ServeMux { return obs.Handler(reg, led) }
+
+// Run-history store (extension): an append-only JSONL store of
+// bench/serve/cluster/sweep runs with filterable labels and
+// per-metric rows, plus cross-run diffing and the /runs analytics
+// dashboard; see internal/runstore and obs.AttachRuns.
+
+// StoredRun is one recorded run: provenance labels plus metric rows;
+// see runstore.Run.
+type StoredRun = runstore.Run
+
+// RunMetric is one measured value of a run; see runstore.Metric.
+type RunMetric = runstore.Metric
+
+// RunStore is an append-only run log under one directory, tolerant of
+// torn trailing writes; see runstore.Store.
+type RunStore = runstore.Store
+
+// RunQuery filters runs by source and labels; see runstore.Query.
+type RunQuery = runstore.Query
+
+// RunDiff is a metric-by-metric comparison of two runs against a
+// noise threshold; see runstore.Diff.
+type RunDiff = runstore.Diff
+
+// OpenRunStore loads (creating if needed) the run store under dir.
+func OpenRunStore(dir string) (*RunStore, error) { return runstore.Open(dir) }
+
+// LoadBenchHistory ingests BENCH_*.json artifacts matching the glob
+// as seed run history, ordered by trailing number (BENCH_3 before
+// BENCH_8 before BENCH_10).
+func LoadBenchHistory(glob string) ([]StoredRun, error) { return runstore.LoadBenchGlob(glob) }
+
+// DiffRuns compares new against old: ratios beyond noise in a
+// metric's bad direction count as regressions.
+func DiffRuns(old, new StoredRun, noise float64) *RunDiff { return runstore.DiffRuns(old, new, noise) }
+
+// CurrentCommit returns the working tree's short git commit, or "".
+func CurrentCommit() string { return runstore.CurrentCommit() }
+
+// ObsAttachRuns registers the /runs HTML dashboard and /runs.json on
+// an admin mux; src supplies the run set per request and led (may be
+// nil) feeds the decision-timeline chart.
+func ObsAttachRuns(mux *http.ServeMux, src func() []StoredRun, led *ObsLedger) {
+	obs.AttachRuns(mux, src, led)
+}
+
+// RecordServeCurve appends one run per (load point, scheduler) of a
+// serving load sweep to the store; see serve.RecordCurve.
+func RecordServeCurve(st *RunStore, mix, process, commit string, points []ServeCurvePoint) ([]StoredRun, error) {
+	return serve.RecordCurve(st, mix, process, commit, points)
+}
+
+// RecordClusterCurve appends one run per (load point, routing policy)
+// of a cluster sweep to the store; see cluster.RecordCurve.
+func RecordClusterCurve(st *RunStore, mix, process, commit string, points []ClusterCurvePoint) ([]StoredRun, error) {
+	return cluster.RecordCurve(st, mix, process, commit, points)
+}
+
+// RecordSweepOutcomes appends one run per successful sweep outcome to
+// the store; see sweep.RecordOutcomes.
+func RecordSweepOutcomes(st *RunStore, commit string, labels map[string]string, outs []SweepOutcome) ([]StoredRun, error) {
+	return sweep.RecordOutcomes(st, commit, labels, outs)
+}

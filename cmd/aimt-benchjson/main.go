@@ -1,55 +1,52 @@
 // Command aimt-benchjson converts `go test -bench` output into a
-// machine-readable JSON report and gates CI on throughput regressions.
+// machine-readable JSON report, gates CI on throughput regressions,
+// diffs any two recorded runs, and appends bench results to a run
+// store.
 //
-//	go test -run '^$' -bench Throughput -benchmem ./... | aimt-benchjson -out BENCH_3.json
+//	go test -run '^$' -bench Throughput -benchmem ./... | aimt-benchjson -out BENCH_9.json
 //	aimt-benchjson -in bench.txt -compare testdata/bench_baseline.json -threshold 2
+//	aimt-benchjson -diff testdata/bench_baseline.json BENCH_9.json -noise 1.5
+//	aimt-benchjson -diff runs/#run-000003 runs/          # store runs (dir[#id], default latest)
+//	aimt-benchjson -in bench.txt -runstore runs/         # append to run history
 //
 // In -compare mode the exit status is non-zero if any baseline
-// benchmark is missing from the input or its ns/op exceeds
-// threshold × baseline — a deliberately generous gate that only trips
-// on gross regressions (CI runners vary; small drift is expected).
+// benchmark is missing from the input or its ns/op (or allocs/op)
+// exceeds threshold × baseline — a deliberately generous gate that
+// only trips on gross regressions (CI runners vary; small drift is
+// expected).
+//
+// In -diff mode both arguments name a run: a BENCH_*.json report
+// file, or a run-store directory with an optional #runID fragment
+// (latest run when omitted). Every shared metric is compared in its
+// unit's bad direction against the -noise threshold, the table is
+// printed, and the exit status is non-zero when anything regressed
+// beyond it — `make bench-compare` is this mode against the
+// checked-in baseline.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+
+	"aimt/internal/runstore"
 )
-
-// Benchmark is one parsed result line. BlocksPerSec is derived from
-// the blocks/op metric the simulator benchmarks report, giving the
-// headline engine-throughput number directly.
-type Benchmark struct {
-	Pkg          string             `json:"pkg"`
-	Name         string             `json:"name"`
-	Iterations   int64              `json:"iterations"`
-	NsPerOp      float64            `json:"ns_per_op"`
-	BytesPerOp   float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp  float64            `json:"allocs_per_op,omitempty"`
-	Metrics      map[string]float64 `json:"metrics,omitempty"`
-	BlocksPerSec float64            `json:"blocks_per_sec,omitempty"`
-}
-
-// Report is the BENCH_3.json schema (also the baseline schema).
-type Report struct {
-	GOOS       string      `json:"goos,omitempty"`
-	GOARCH     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-func (b Benchmark) key() string { return b.Pkg + "." + b.Name }
 
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-func parse(r io.Reader) (*Report, error) {
-	rep := &Report{}
+// parse converts `go test -bench` text into a report. BlocksPerSec is
+// derived from the blocks/op metric the simulator benchmarks report,
+// giving the headline engine-throughput number directly.
+func parse(r io.Reader) (*runstore.BenchReport, error) {
+	rep := &runstore.BenchReport{}
 	pkg := ""
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -76,7 +73,7 @@ func parse(r io.Reader) (*Report, error) {
 		if err != nil {
 			continue
 		}
-		b := Benchmark{
+		b := runstore.BenchBenchmark{
 			Pkg:        pkg,
 			Name:       procSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
 			Iterations: iters,
@@ -114,21 +111,23 @@ func parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-func compare(cur, base *Report, threshold float64) error {
-	got := map[string]Benchmark{}
+// compare is the coarse CI gate (see -compare): missing benchmarks or
+// gross ns/op / allocs/op regressions fail.
+func compare(cur, base *runstore.BenchReport, threshold float64) error {
+	got := map[string]runstore.BenchBenchmark{}
 	for _, b := range cur.Benchmarks {
-		got[b.key()] = b
+		got[b.Key()] = b
 	}
 	var failures []string
 	for _, want := range base.Benchmarks {
-		b, ok := got[want.key()]
+		b, ok := got[want.Key()]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from benchmark run", want.key()))
+			failures = append(failures, fmt.Sprintf("%s: missing from benchmark run", want.Key()))
 			continue
 		}
 		if want.NsPerOp > 0 && b.NsPerOp > threshold*want.NsPerOp {
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds %.1f× baseline %.0f ns/op",
-				want.key(), b.NsPerOp, threshold, want.NsPerOp))
+				want.Key(), b.NsPerOp, threshold, want.NsPerOp))
 			continue
 		}
 		// The allocation gate protects the allocation-free engine core:
@@ -136,14 +135,68 @@ func compare(cur, base *Report, threshold float64) error {
 		// an order-of-magnitude allocs/op jump, far past the 2× limit.
 		if want.AllocsPerOp > 0 && b.AllocsPerOp > threshold*want.AllocsPerOp {
 			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds %.1f× baseline %.0f allocs/op",
-				want.key(), b.AllocsPerOp, threshold, want.AllocsPerOp))
+				want.Key(), b.AllocsPerOp, threshold, want.AllocsPerOp))
 			continue
 		}
 		fmt.Printf("ok  %-50s %12.0f ns/op %8.0f allocs/op (baseline %.0f / %.0f, limit %.1f×)\n",
-			want.key(), b.NsPerOp, b.AllocsPerOp, want.NsPerOp, want.AllocsPerOp, threshold)
+			want.Key(), b.NsPerOp, b.AllocsPerOp, want.NsPerOp, want.AllocsPerOp, threshold)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("throughput regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// loadRunArg resolves one -diff argument: a run-store directory
+// (optionally "dir#runID", latest run by default) or a BENCH-style
+// JSON report file.
+func loadRunArg(arg string) (runstore.Run, error) {
+	path, id, _ := strings.Cut(arg, "#")
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		st, err := runstore.Open(path)
+		if err != nil {
+			return runstore.Run{}, err
+		}
+		if id != "" {
+			r, ok := st.Get(id)
+			if !ok {
+				return runstore.Run{}, fmt.Errorf("%s: no run %q", path, id)
+			}
+			return r, nil
+		}
+		runs := st.Runs()
+		if len(runs) == 0 {
+			return runstore.Run{}, fmt.Errorf("%s: empty run store", path)
+		}
+		return runs[len(runs)-1], nil
+	}
+	if id != "" {
+		return runstore.Run{}, fmt.Errorf("%s: #runID selection needs a run-store directory", arg)
+	}
+	rep, err := runstore.LoadBenchReport(path)
+	if err != nil {
+		return runstore.Run{}, err
+	}
+	return rep.Run(strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))), nil
+}
+
+// diff renders the metric-by-metric comparison and fails on any
+// regression beyond the noise threshold.
+func diff(oldArg, newArg string, noise float64) error {
+	old, err := loadRunArg(oldArg)
+	if err != nil {
+		return err
+	}
+	new, err := loadRunArg(newArg)
+	if err != nil {
+		return err
+	}
+	d := runstore.DiffRuns(old, new, noise)
+	if err := d.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if d.Regressed() {
+		return fmt.Errorf("%d metric(s) regressed beyond %.2fx noise", len(d.Regressions()), noise)
 	}
 	return nil
 }
@@ -153,17 +206,31 @@ func main() {
 		in        = flag.String("in", "", "bench output file (empty = stdin)")
 		out       = flag.String("out", "", "write parsed JSON report to this file (empty = stdout unless -compare)")
 		baseline  = flag.String("compare", "", "baseline JSON report to gate against")
-		threshold = flag.Float64("threshold", 2.0, "fail when ns/op exceeds threshold × baseline")
+		threshold = flag.Float64("threshold", 2.0, "fail -compare when ns/op exceeds threshold × baseline")
+		diffMode  = flag.Bool("diff", false, "diff two runs (args: old new; BENCH json files or storeDir[#runID]) and fail on regressions beyond -noise")
+		noise     = flag.Float64("noise", 1.5, "with -diff, multiplicative drift tolerated before a change counts as a regression")
+		storeDir  = flag.String("runstore", "", "append the parsed bench report to the run store under this directory")
+		runID     = flag.String("id", "", "with -runstore, record under this run ID (empty = assigned)")
 	)
 	flag.Parse()
 
-	if err := run(*in, *out, *baseline, *threshold); err != nil {
+	var err error
+	if *diffMode {
+		if flag.NArg() != 2 {
+			err = errors.New("-diff needs exactly two arguments: old new")
+		} else {
+			err = diff(flag.Arg(0), flag.Arg(1), *noise)
+		}
+	} else {
+		err = run(*in, *out, *baseline, *storeDir, *runID, *threshold)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "aimt-benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, baseline string, threshold float64) error {
+func run(in, out, baseline, storeDir, runID string, threshold float64) error {
 	src := io.Reader(os.Stdin)
 	if in != "" {
 		f, err := os.Open(in)
@@ -189,20 +256,30 @@ func run(in, out, baseline string, threshold float64) error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", out, len(rep.Benchmarks))
-	case baseline == "":
+	case baseline == "" && storeDir == "":
 		os.Stdout.Write(buf)
 	}
 
-	if baseline != "" {
-		raw, err := os.ReadFile(baseline)
+	if storeDir != "" {
+		st, err := runstore.Open(storeDir)
 		if err != nil {
 			return err
 		}
-		var base Report
-		if err := json.Unmarshal(raw, &base); err != nil {
-			return fmt.Errorf("%s: %w", baseline, err)
+		r := rep.Run(runID)
+		r.Commit = runstore.CurrentCommit()
+		stored, err := st.Append(r)
+		if err != nil {
+			return err
 		}
-		return compare(rep, &base, threshold)
+		fmt.Printf("runstore: appended %s (%d metrics) to %s\n", stored.ID, len(stored.Metrics), storeDir)
+	}
+
+	if baseline != "" {
+		base, err := runstore.LoadBenchReport(baseline)
+		if err != nil {
+			return err
+		}
+		return compare(rep, base, threshold)
 	}
 	return nil
 }

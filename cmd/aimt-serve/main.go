@@ -38,10 +38,22 @@
 // exposes live engine counters and gauges in Prometheus text form,
 // a JSON snapshot with the scheduler decision ledger tail, and pprof:
 //
-//	aimt-serve -admin :8080            # /metrics, /healthz,
+//	aimt-serve -admin :8080            # /metrics, /healthz, /runs,
 //	                                   # /debug/snapshot, /debug/pprof/
 //	aimt-serve -admin :8080 -hold 1m   # keep serving 1m after the sweep
 //	aimt-serve -ledger dec.jsonl       # dump the decision ledger
+//
+// With -runstore every report of the sweep is appended to an
+// append-only run history (one JSONL line per load point x policy,
+// labeled with mix/scheduler/load/commit), and the -admin surface
+// grows a /runs dashboard plotting load curves, the decision-ledger
+// timeline and cross-run perf trajectories; the checked-in
+// BENCH_*.json artifacts (override the glob with -benchseed) are
+// ingested as seed history so the trajectory starts at PR 3:
+//
+//	aimt-serve -runstore runs/                  # record this sweep
+//	aimt-serve -runstore runs/ -admin :8080     # ...and browse /runs
+//	aimt-benchjson -diff runs/ runs/#run-000001 # diff two runs
 //
 // With -transformer the stream is the transformer/CNN mix: each chat
 // request is one prefill burst plus chained autoregressive decode
@@ -89,6 +101,8 @@ type options struct {
 	ledgerOut   string
 	transformer bool
 	decode      int
+	runstore    string
+	benchseed   string
 }
 
 func main() {
@@ -115,6 +129,8 @@ func main() {
 	flag.StringVar(&opts.ledgerOut, "ledger", "", "write the scheduler decision ledger as JSON Lines to this file")
 	flag.BoolVar(&opts.transformer, "transformer", false, "serve the transformer/CNN mix: chat requests are one prefill burst plus chained decode iterations with per-token deadlines")
 	flag.IntVar(&opts.decode, "decode", -1, "with -transformer, override the chat class's decode iterations per request (-1 = default)")
+	flag.StringVar(&opts.runstore, "runstore", "", "append every report of the sweep to the run-history store under this directory")
+	flag.StringVar(&opts.benchseed, "benchseed", "BENCH_*.json", "glob of bench JSON artifacts ingested as seed history for the /runs dashboard")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -231,6 +247,16 @@ func run(opts options) error {
 		schedulers = sel
 	}
 
+	// Run history: every report of the sweep is appended here, and the
+	// admin dashboard reads it back live.
+	var store *aimt.RunStore
+	if opts.runstore != "" {
+		store, err = aimt.OpenRunStore(opts.runstore)
+		if err != nil {
+			return fmt.Errorf("-runstore: %w", err)
+		}
+	}
+
 	// Observability: one registry and ledger shared by every run of
 	// the sweep, served live when -admin is set.
 	var reg *aimt.ObsRegistry
@@ -242,6 +268,19 @@ func run(opts options) error {
 	if opts.admin != "" {
 		mux := aimt.ObsHandler(reg, led)
 		profiling.AttachPprof(mux)
+		// The /runs dashboard serves the checked-in bench artifacts as
+		// seed history ahead of whatever this sweep appends.
+		seeds, err := aimt.LoadBenchHistory(opts.benchseed)
+		if err != nil {
+			return fmt.Errorf("-benchseed: %w", err)
+		}
+		aimt.ObsAttachRuns(mux, func() []aimt.StoredRun {
+			runs := append([]aimt.StoredRun{}, seeds...)
+			if store != nil {
+				runs = append(runs, store.Runs()...)
+			}
+			return runs
+		}, led)
 		// Bind synchronously so the endpoints answer for the whole
 		// sweep, not only once it finishes.
 		ln, err := net.Listen("tcp", opts.admin)
@@ -250,7 +289,7 @@ func run(opts options) error {
 		}
 		defer ln.Close()
 		go func() { _ = (&http.Server{Handler: mux}).Serve(ln) }()
-		fmt.Printf("admin: serving /metrics, /healthz, /debug/snapshot, /debug/pprof/ on %s\n", ln.Addr())
+		fmt.Printf("admin: serving /metrics, /healthz, /runs, /debug/snapshot, /debug/pprof/ on %s\n", ln.Addr())
 	}
 
 	// Translate explicit offered loads into mean arrival gaps. In
@@ -292,7 +331,7 @@ func run(opts options) error {
 				spec = aimt.ServePreemptiveAIMT()
 			}
 		}
-		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, mixName, opts)
+		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, store, mixName, opts)
 	} else {
 		copts := aimt.ServeCurveOptions{
 			Stream: sopts, Gaps: gaps, Workers: opts.parallel,
@@ -303,6 +342,13 @@ func run(opts options) error {
 		if err == nil {
 			fmt.Printf("Serving load sweep: %s mix, %d requests per point, %s arrivals\n\n", mixName, opts.requests, opts.process)
 			err = aimt.PrintServeCurve(os.Stdout, points)
+		}
+		if err == nil && store != nil {
+			stored, rerr := aimt.RecordServeCurve(store, mixName, strings.ToLower(opts.process), aimt.CurrentCommit(), points)
+			if rerr != nil {
+				return rerr
+			}
+			fmt.Printf("runstore: appended %d runs to %s\n", len(stored), opts.runstore)
 		}
 	}
 	if err != nil {
@@ -334,7 +380,7 @@ func run(opts options) error {
 // cluster. Every chip runs the given scheduler (the first of the
 // -sched selection, AI-MT by default); -route narrows the routing
 // policies under comparison.
-func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, mixName string, opts options) error {
+func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, store *aimt.RunStore, mixName string, opts options) error {
 	if len(policies) == 0 {
 		policies = aimt.ClusterPolicies()
 	}
@@ -358,6 +404,13 @@ func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerS
 		mixName, opts.chips, spec.Name, opts.requests, opts.process)
 	if err := aimt.PrintClusterCurve(os.Stdout, points); err != nil {
 		return err
+	}
+	if store != nil {
+		stored, err := aimt.RecordClusterCurve(store, mixName, strings.ToLower(opts.process), aimt.CurrentCommit(), points)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("runstore: appended %d runs to %s\n", len(stored), opts.runstore)
 	}
 	if opts.perchip {
 		for _, pt := range points {

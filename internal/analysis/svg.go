@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// The /runs dashboard renders charts as inline SVG with no JavaScript
+// or external assets, so the admin surface stays zero-dependency and
+// curl-able. Output is byte-deterministic for a given input: golden
+// tests pin entire pages.
+
+// ChartPoint is one (x, y) sample of a series.
+type ChartPoint struct{ X, Y float64 }
+
+// ChartSeries is one named line of a chart. Series colors are
+// assigned by slot in fixed order; identity is also carried by the
+// legend and (for up to four series) a direct end-of-line label, so
+// color is never the only channel.
+type ChartSeries struct {
+	Name   string
+	Points []ChartPoint
+}
+
+// Chart describes one line chart.
+type Chart struct {
+	// Title names the chart; YLabel names the y unit.
+	Title  string
+	YLabel string
+	// XTicks, when set, are categorical labels for integer x positions
+	// 0..len-1 (run IDs, load points). When empty the x axis is numeric.
+	XTicks []string
+	// W and H are the outer pixel dimensions; zero means 640x300.
+	W, H int
+}
+
+// chartPalette is the fixed categorical hue order (slot 1..8); a 9th
+// series is never a new hue — extras are dropped with a visible
+// "omitted" note rather than cycling colors.
+var chartPalette = []string{
+	"#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+	"#e87ba4", "#008300", "#4a3aa7", "#e34948",
+}
+
+// Ink and surface tokens (light mode).
+const (
+	svgSurface  = "#fcfcfb"
+	svgInk      = "#0b0b0b"
+	svgInk2     = "#52514e"
+	svgMuted    = "#898781"
+	svgGridline = "#e1e0d9"
+	svgBaseline = "#c3c2b7"
+)
+
+const maxChartSeries = len("12345678") // 8: the palette's slot count
+
+// LineChartSVG renders the series as one inline SVG line chart.
+// An empty series set renders a placeholder frame saying so.
+func LineChartSVG(c Chart, series []ChartSeries) string {
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 300
+	}
+	omitted := 0
+	if len(series) > maxChartSeries {
+		omitted = len(series) - maxChartSeries
+		series = series[:maxChartSeries]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="%s">`,
+		w, h, w, h, html.EscapeString(c.Title))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect x="0.5" y="0.5" width="%d" height="%d" rx="6" fill="%s" stroke="%s"/>`, w-1, h-1, svgSurface, svgGridline)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<text x="14" y="22" fill="%s" font-family="system-ui,sans-serif" font-size="13" font-weight="600">%s</text>`,
+		svgInk, html.EscapeString(c.Title))
+	b.WriteString("\n")
+
+	// Plot frame: title band on top, legend band at the bottom.
+	const padL, padR, padT = 64, 16, 34
+	legendRows := (len(series) + 3) / 4
+	padB := 34 + 16*legendRows
+	pw, ph := w-padL-padR, h-padT-padB
+
+	empty := true
+	for _, s := range series {
+		if len(s.Points) > 0 {
+			empty = false
+		}
+	}
+	if empty || pw <= 0 || ph <= 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="12" text-anchor="middle">no data yet</text>`,
+			w/2, h/2, svgMuted)
+		b.WriteString("\n</svg>\n")
+		return b.String()
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	// Anchor magnitude axes at zero unless the data lives far from it.
+	if ymin > 0 && ymin < 0.5*ymax {
+		ymin = 0
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	px := func(x float64) float64 { return float64(padL) + (x-xmin)/(xmax-xmin)*float64(pw) }
+	py := func(y float64) float64 { return float64(padT) + (1-(y-ymin)/(ymax-ymin))*float64(ph) }
+
+	// Recessive horizontal gridlines + y tick labels at 4 even steps.
+	for i := 0; i <= 4; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/4
+		yy := py(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`, padL, yy, w-padR, yy, svgGridline)
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" fill="%s" font-family="system-ui,sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			padL-6, yy+3, svgMuted, svgNum(y))
+		b.WriteString("\n")
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="10">%s</text>`,
+			padL, padT-6, svgMuted, html.EscapeString(c.YLabel))
+		b.WriteString("\n")
+	}
+	// Baseline axis.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`,
+		padL, float64(padT+ph), w-padR, float64(padT+ph), svgBaseline)
+	b.WriteString("\n")
+
+	// X tick labels: categorical labels thinned to at most 8, or the
+	// numeric extremes.
+	if len(c.XTicks) > 0 {
+		step := (len(c.XTicks) + 7) / 8
+		for i := 0; i < len(c.XTicks); i += step {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="%s" font-family="system-ui,sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+				px(float64(i)), float64(padT+ph+14), svgMuted, html.EscapeString(c.XTicks[i]))
+			b.WriteString("\n")
+		}
+	} else {
+		for _, x := range []float64{xmin, (xmin + xmax) / 2, xmax} {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="%s" font-family="system-ui,sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+				px(x), float64(padT+ph+14), svgMuted, svgNum(x))
+			b.WriteString("\n")
+		}
+	}
+
+	// Series: 2px lines, >=3px markers when sparse, direct end labels
+	// in text ink for up to four series.
+	for si, s := range series {
+		color := chartPalette[si]
+		if len(s.Points) == 0 {
+			continue
+		}
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(p.X), py(p.Y)))
+		}
+		if len(s.Points) == 1 {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`, px(s.Points[0].X), py(s.Points[0].Y), color)
+			b.WriteString("\n")
+		} else {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`,
+				strings.Join(pts, " "), color)
+			b.WriteString("\n")
+			if len(s.Points) <= 32 {
+				for _, p := range s.Points {
+					fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s" stroke="%s" stroke-width="2"/>`,
+						px(p.X), py(p.Y), color, svgSurface)
+					b.WriteString("\n")
+				}
+			}
+		}
+		if len(series) >= 2 && len(series) <= 4 {
+			// Direct label just inside the frame, above the line's end,
+			// so it can never overflow the right edge.
+			last := s.Points[len(s.Points)-1]
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="%s" font-family="system-ui,sans-serif" font-size="10" text-anchor="end">%s</text>`,
+				px(last.X)-4, py(last.Y)-6, svgInk2, html.EscapeString(s.Name))
+			b.WriteString("\n")
+		}
+	}
+
+	// Legend: swatch + name in text ink, four items per row.
+	for si, s := range series {
+		lx := padL + (si%4)*(pw/4)
+		ly := padT + ph + 24 + 16*(si/4)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" rx="2" fill="%s"/>`, lx, ly, chartPalette[si])
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="11">%s</text>`,
+			lx+14, ly+9, svgInk2, html.EscapeString(s.Name))
+		b.WriteString("\n")
+	}
+	if omitted > 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="10">+%d series omitted</text>`,
+			w-padR-90, padT-6, svgMuted, omitted)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgNum formats an axis value compactly and deterministically:
+// SI-suffixed above 10^3 (1.79M), trimmed decimals below.
+func svgNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return trimZeros(fmt.Sprintf("%.2f", v/1e9)) + "G"
+	case av >= 1e6:
+		return trimZeros(fmt.Sprintf("%.2f", v/1e6)) + "M"
+	case av >= 1e3:
+		return trimZeros(fmt.Sprintf("%.2f", v/1e3)) + "k"
+	case av >= 10 || av == 0:
+		return trimZeros(fmt.Sprintf("%.1f", v))
+	default:
+		return trimZeros(fmt.Sprintf("%.3f", v))
+	}
+}
+
+func trimZeros(s string) string {
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartSVGBasics(t *testing.T) {
+	series := []ChartSeries{
+		{Name: "AI-MT", Points: []ChartPoint{{0, 100}, {1, 140}, {2, 400}}},
+		{Name: "FIFO <x>", Points: []ChartPoint{{0, 120}, {1, 260}, {2, 900}}},
+	}
+	svg := LineChartSVG(Chart{Title: "p99 vs load", YLabel: "cycles", XTicks: []string{"0.5", "0.8", "1.1"}}, series)
+
+	for _, want := range []string{
+		"<svg ", "</svg>", "p99 vs load", "polyline", "AI-MT",
+		"FIFO &lt;x&gt;", // series names are escaped
+		"#2a78d6", "#eb6834",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "FIFO <x>") {
+		t.Error("unescaped series name in SVG")
+	}
+	// Deterministic output: byte-identical on re-render.
+	if again := LineChartSVG(Chart{Title: "p99 vs load", YLabel: "cycles", XTicks: []string{"0.5", "0.8", "1.1"}}, series); again != svg {
+		t.Error("LineChartSVG is not deterministic")
+	}
+}
+
+func TestLineChartSVGEmptyAndOverflow(t *testing.T) {
+	if svg := LineChartSVG(Chart{Title: "empty"}, nil); !strings.Contains(svg, "no data yet") {
+		t.Error("empty chart missing placeholder")
+	}
+	var many []ChartSeries
+	for i := 0; i < 11; i++ {
+		many = append(many, ChartSeries{Name: "s", Points: []ChartPoint{{0, 1}, {1, 2}}})
+	}
+	svg := LineChartSVG(Chart{Title: "crowded"}, many)
+	if !strings.Contains(svg, "+3 series omitted") {
+		t.Error("overflowing series not reported as omitted")
+	}
+	if strings.Count(svg, "<polyline") != 8 {
+		t.Errorf("rendered %d polylines, want the 8 palette slots", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestSVGNum(t *testing.T) {
+	cases := map[float64]string{
+		0:          "0",
+		1790000:    "1.79M",
+		2_500:      "2.5k",
+		3.14159:    "3.142",
+		42:         "42",
+		7.5e9:      "7.5G",
+		0.05:       "0.05",
+		1000000000: "1G",
+	}
+	for v, want := range cases {
+		if got := svgNum(v); got != want {
+			t.Errorf("svgNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"fmt"
+
+	"aimt/internal/runstore"
+	"aimt/internal/serve"
+)
+
+// RecordCurve appends one run per (load point, routing policy) of a
+// cluster sweep to the store. The aggregate report supplies the
+// metric rows plus the cluster-only imbalance summary; labels carry
+// the routing policy, per-chip scheduler and chip count so cross-run
+// dashboards can compare policies across dynamic workload mixes.
+// It returns the stored runs.
+func RecordCurve(st *runstore.Store, mix, process, commit string, points []CurvePoint) ([]runstore.Run, error) {
+	var out []runstore.Run
+	for _, pt := range points {
+		for _, r := range pt.Results {
+			ms := append(serve.ReportMetrics(r.Agg),
+				runstore.Metric{Name: "imbalance frac", Value: r.Imbalance, Unit: "frac"})
+			stored, err := st.Append(runstore.Run{
+				Source: "cluster",
+				Commit: commit,
+				Labels: map[string]string{
+					"mix":     mix,
+					"sched":   r.Scheduler,
+					"policy":  r.Policy,
+					"process": process,
+					"chips":   fmt.Sprint(r.Chips),
+					"load":    fmt.Sprintf("%.2f", pt.ChipLoad),
+				},
+				Metrics: ms,
+			})
+			if err != nil {
+				return out, err
+			}
+			out = append(out, stored)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"aimt/internal/runstore"
+	"aimt/internal/serve"
+)
+
+// TestRecordCurve pins the cluster→runstore mapping: one run per
+// (point, policy) built from the aggregate report, with the
+// cluster-only imbalance row and the routing labels attached.
+func TestRecordCurve(t *testing.T) {
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+	agg := func(p99 float64) *serve.Report {
+		return &serve.Report{Scheduler: "AI-MT", P99: 2000, MissRate: 0.1, Throughput: p99, PEUtil: 0.7}
+	}
+	points := []CurvePoint{
+		{ChipLoad: 0.8, Results: []*Result{
+			{Policy: "least-loaded", Scheduler: "AI-MT", Chips: 4, Agg: agg(20), Imbalance: 0.05},
+			{Policy: "round-robin", Scheduler: "AI-MT", Chips: 4, Agg: agg(18), Imbalance: 0.30},
+		}},
+	}
+	stored, err := RecordCurve(st, "mixed", "bursty", "def5678", points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 2 {
+		t.Fatalf("stored %d runs, want 2", len(stored))
+	}
+	r := stored[1]
+	if r.Source != "cluster" {
+		t.Errorf("source = %q, want cluster", r.Source)
+	}
+	for k, want := range map[string]string{
+		"mix": "mixed", "sched": "AI-MT", "policy": "round-robin",
+		"process": "bursty", "chips": "4", "load": "0.80",
+	} {
+		if got := r.Label(k); got != want {
+			t.Errorf("label %s = %q, want %q", k, got, want)
+		}
+	}
+	v, ok := r.Metric("imbalance frac")
+	if !ok || v != 0.30 {
+		t.Errorf("imbalance metric = %v (ok=%v), want 0.30", v, ok)
+	}
+	if _, ok := r.Metric("p99 cycles"); !ok {
+		t.Error("aggregate report rows missing from cluster run")
+	}
+}

@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aimt/internal/analysis"
+	"aimt/internal/runstore"
+)
+
+// The /runs dashboard turns the run-history store into an analysis
+// surface: cross-run perf trajectories (the ingested BENCH_*.json
+// artifacts plus everything appended since), serving load curves per
+// scheduler/policy, and the live decision-ledger timeline — all as
+// server-rendered HTML with inline SVG, zero scripts, zero deps.
+
+// AttachRuns registers the run-history dashboard on mux:
+//
+//	/runs       HTML dashboard (tables + inline SVG charts)
+//	/runs.json  the same run set as JSON
+//
+// src supplies the run set per request (seed history plus store
+// contents); led, when non-nil, feeds the decision-timeline chart.
+func AttachRuns(mux *http.ServeMux, src func() []runstore.Run, led *Ledger) {
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(RunsHTML(src(), led))
+	})
+	mux.HandleFunc("/runs.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Runs []runstore.Run `json:"runs"`
+		}{src()})
+	})
+}
+
+// RunsHTML renders the dashboard page. It is a pure function of the
+// run set and ledger contents, so golden tests pin it byte-for-byte.
+func RunsHTML(runs []runstore.Run, led *Ledger) []byte {
+	var b strings.Builder
+	b.WriteString(`<!doctype html>
+<html lang="en"><head><meta charset="utf-8"><title>aimt run history</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:24px auto;max-width:1000px;color:#0b0b0b;background:#f9f9f7}
+h1{font-size:20px} h2{font-size:15px;margin:28px 0 8px}
+table{border-collapse:collapse;font-size:12px;background:#fcfcfb}
+th,td{border:1px solid #e1e0d9;padding:4px 8px;text-align:left}
+th{color:#52514e;font-weight:600} td.num{text-align:right;font-variant-numeric:tabular-nums}
+.muted{color:#898781} svg{margin:6px 0}
+</style></head><body>
+<h1>aimt run history</h1>
+`)
+	bySource := map[string]int{}
+	for _, r := range runs {
+		bySource[r.Source]++
+	}
+	sources := make([]string, 0, len(bySource))
+	for s := range bySource {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+	var parts []string
+	for _, s := range sources {
+		parts = append(parts, fmt.Sprintf("%d %s", bySource[s], s))
+	}
+	summary := "no runs recorded yet"
+	if len(runs) > 0 {
+		summary = fmt.Sprintf("%d runs (%s)", len(runs), strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&b, `<p class="muted">%s — raw data at <a href="/runs.json">/runs.json</a></p>`+"\n", html.EscapeString(summary))
+
+	writeTrajectorySection(&b, runs)
+	writeLoadCurveSection(&b, runs)
+	writeLedgerSection(&b, led)
+	writeRunsTable(&b, runs)
+
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// benchLike selects the perf-trajectory run set: ingested BENCH_*
+// seed history plus runs recorded by the bench driver, in order.
+func benchLike(runs []runstore.Run) []runstore.Run {
+	var out []runstore.Run
+	for _, r := range runs {
+		if r.Source == "bench" || r.Source == "seed" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// writeTrajectorySection charts cross-run benchmark metrics: ns/op
+// linearly and allocs/op on a log10 axis (the allocation-free-core
+// work moved it five orders of magnitude; a linear axis would flatten
+// everything since).
+func writeTrajectorySection(b *strings.Builder, runs []runstore.Run) {
+	bench := benchLike(runs)
+	b.WriteString("<h2>Perf trajectory</h2>\n")
+	if len(bench) == 0 {
+		b.WriteString(`<p class="muted">no bench runs — ingest BENCH_*.json or run make bench with -runstore</p>` + "\n")
+		return
+	}
+	ticks := make([]string, len(bench))
+	for i, r := range bench {
+		ticks[i] = r.ID
+	}
+	b.WriteString(trajectoryChart(bench, ticks, "ns/op", "ns/op across runs (lower is better)", false))
+	b.WriteString(trajectoryChart(bench, ticks, "allocs/op", "log10(allocs/op) across runs (lower is better)", true))
+}
+
+// trajectoryChart builds one unit's cross-run chart: one series per
+// benchmark, x = run position.
+func trajectoryChart(bench []runstore.Run, ticks []string, unit, title string, log10 bool) string {
+	points := map[string][]analysis.ChartPoint{}
+	var order []string
+	for i, r := range bench {
+		for _, m := range r.Metrics {
+			if m.Unit != unit {
+				continue
+			}
+			name := strings.TrimSuffix(m.Name, " "+unit)
+			if _, ok := points[name]; !ok {
+				order = append(order, name)
+			}
+			v := m.Value
+			if log10 {
+				v = math.Log10(math.Max(v, 1))
+			}
+			points[name] = append(points[name], analysis.ChartPoint{X: float64(i), Y: v})
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	series := make([]analysis.ChartSeries, 0, len(order))
+	for _, name := range order {
+		series = append(series, analysis.ChartSeries{Name: name, Points: points[name]})
+	}
+	return analysis.LineChartSVG(analysis.Chart{Title: title, YLabel: unit, XTicks: ticks}, series)
+}
+
+// writeLoadCurveSection charts serve/cluster runs that carry a load
+// label: p99 and miss rate against offered load, one series per
+// scheduler or routing policy within each mix.
+func writeLoadCurveSection(b *strings.Builder, runs []runstore.Run) {
+	type key struct{ mix, series string }
+	type pt struct{ load, p99, miss float64 }
+	curves := map[key][]pt{}
+	var mixes []string
+	for _, r := range runs {
+		if r.Source != "serve" && r.Source != "cluster" {
+			continue
+		}
+		load, err := strconv.ParseFloat(r.Label("load"), 64)
+		if err != nil {
+			continue
+		}
+		series := r.Label("policy")
+		if series == "" {
+			series = r.Label("sched")
+		}
+		if series == "" {
+			series = r.Source
+		}
+		k := key{r.Label("mix"), series}
+		seen := false
+		for _, m := range mixes {
+			if m == k.mix {
+				seen = true
+			}
+		}
+		if !seen {
+			mixes = append(mixes, k.mix)
+		}
+		p99, _ := r.Metric("p99 cycles")
+		miss, _ := r.Metric("miss rate")
+		curves[k] = append(curves[k], pt{load, p99, miss})
+	}
+	b.WriteString("<h2>Load curves</h2>\n")
+	if len(curves) == 0 {
+		b.WriteString(`<p class="muted">no serving runs with load labels yet — run aimt-serve with -runstore</p>` + "\n")
+		return
+	}
+	sort.Strings(mixes)
+	for _, mix := range mixes {
+		var names []string
+		for k := range curves {
+			if k.mix == mix {
+				names = append(names, k.series)
+			}
+		}
+		sort.Strings(names)
+		var p99Series, missSeries []analysis.ChartSeries
+		for _, name := range names {
+			pts := curves[key{mix, name}]
+			sort.Slice(pts, func(i, j int) bool { return pts[i].load < pts[j].load })
+			var pp, mm []analysis.ChartPoint
+			for _, p := range pts {
+				pp = append(pp, analysis.ChartPoint{X: p.load, Y: p.p99})
+				mm = append(mm, analysis.ChartPoint{X: p.load, Y: p.miss})
+			}
+			p99Series = append(p99Series, analysis.ChartSeries{Name: name, Points: pp})
+			missSeries = append(missSeries, analysis.ChartSeries{Name: name, Points: mm})
+		}
+		label := mix
+		if label == "" {
+			label = "default mix"
+		}
+		b.WriteString(analysis.LineChartSVG(analysis.Chart{
+			Title: "p99 latency vs offered load — " + label, YLabel: "cycles"}, p99Series))
+		b.WriteString(analysis.LineChartSVG(analysis.Chart{
+			Title: "SLA miss rate vs offered load — " + label, YLabel: "rate"}, missSeries))
+	}
+}
+
+// ledgerKindOrder fixes the decision-timeline series order (and so
+// slot colors) regardless of which kind fired first.
+var ledgerKindOrder = []string{
+	KindMBPrefetch, KindCBMerge, KindEarlyEvict, KindCBSplit,
+	KindPreempt, KindShed, KindScaleUp, KindScaleDown, KindLookahead,
+}
+
+// writeLedgerSection charts the ledger tail as cumulative decisions
+// per kind over simulated cycles.
+func writeLedgerSection(b *strings.Builder, led *Ledger) {
+	b.WriteString("<h2>Decision ledger timeline</h2>\n")
+	if led == nil || led.Len() == 0 {
+		b.WriteString(`<p class="muted">no ledger attached to this surface</p>` + "\n")
+		return
+	}
+	tail := led.Tail(SnapshotTail)
+	counts := map[string]int{}
+	points := map[string][]analysis.ChartPoint{}
+	for _, d := range tail {
+		counts[d.Kind]++
+		points[d.Kind] = append(points[d.Kind], analysis.ChartPoint{X: float64(d.Cycle), Y: float64(counts[d.Kind])})
+	}
+	var series []analysis.ChartSeries
+	for _, kind := range ledgerKindOrder {
+		if pts := points[kind]; len(pts) > 0 {
+			series = append(series, analysis.ChartSeries{Name: kind, Points: pts})
+		}
+	}
+	fmt.Fprintf(b, `<p class="muted">last %d of %d decisions</p>`+"\n", len(tail), led.Total())
+	b.WriteString(analysis.LineChartSVG(analysis.Chart{
+		Title: "cumulative decisions by kind (ledger tail)", YLabel: "decisions"}, series))
+}
+
+// writeRunsTable lists every run, newest last, with its labels and up
+// to four leading metrics.
+func writeRunsTable(b *strings.Builder, runs []runstore.Run) {
+	b.WriteString("<h2>Runs</h2>\n")
+	if len(runs) == 0 {
+		return
+	}
+	b.WriteString("<table>\n<tr><th>id</th><th>time</th><th>commit</th><th>source</th><th>labels</th><th>metrics</th></tr>\n")
+	for _, r := range runs {
+		keys := make([]string, 0, len(r.Labels))
+		for k := range r.Labels {
+			if k == "cpu" { // long and constant within a machine; the JSON keeps it
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var labels []string
+		for _, k := range keys {
+			labels = append(labels, k+"="+r.Labels[k])
+		}
+		var cells []string
+		for i, m := range r.Metrics {
+			if i == 4 {
+				cells = append(cells, fmt.Sprintf("… %d more", len(r.Metrics)-i))
+				break
+			}
+			cells = append(cells, fmt.Sprintf("%s=%s", m.Name, trimFloat(m.Value)))
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=\"num\">%s</td></tr>\n",
+			html.EscapeString(r.ID), html.EscapeString(r.Time), html.EscapeString(r.Commit),
+			html.EscapeString(r.Source), html.EscapeString(strings.Join(labels, " ")),
+			html.EscapeString(strings.Join(cells, ", ")))
+	}
+	b.WriteString("</table>\n")
+}
+
+// trimFloat renders a metric value without trailing fraction noise.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

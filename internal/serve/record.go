@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"fmt"
+
+	"aimt/internal/runstore"
+)
+
+// ReportMetrics flattens a report into run-store metric rows. Units
+// drive regression direction in diffs: cycles and rate read
+// lower-is-better, req/Mcyc and tok/Mcyc higher-is-better, frac is
+// directionless.
+func ReportMetrics(rep *Report) []runstore.Metric {
+	ms := []runstore.Metric{
+		{Name: "p50 cycles", Value: float64(rep.P50), Unit: "cycles"},
+		{Name: "p99 cycles", Value: float64(rep.P99), Unit: "cycles"},
+		{Name: "p99.9 cycles", Value: float64(rep.P999), Unit: "cycles"},
+		{Name: "miss rate", Value: rep.MissRate, Unit: "rate"},
+		{Name: "tput req/Mcyc", Value: rep.Throughput, Unit: "req/Mcyc"},
+		{Name: "pe util frac", Value: rep.PEUtil, Unit: "frac"},
+	}
+	if rep.Shed > 0 {
+		ms = append(ms, runstore.Metric{Name: "shed count", Value: float64(rep.Shed), Unit: "count"})
+	}
+	if rep.Tokens > 0 {
+		ms = append(ms,
+			runstore.Metric{Name: "tokens count", Value: float64(rep.Tokens), Unit: "count"},
+			runstore.Metric{Name: "tokens tok/Mcyc", Value: rep.TokensPerMcycle, Unit: "tok/Mcyc"})
+	}
+	return ms
+}
+
+// RecordCurve appends one run per (load point, scheduler) of a load
+// sweep to the store: labels identify the mix, scheduler, arrival
+// process and offered load; metrics are the report's headline rows.
+// It returns the stored runs.
+func RecordCurve(st *runstore.Store, mix, process, commit string, points []CurvePoint) ([]runstore.Run, error) {
+	var out []runstore.Run
+	for _, pt := range points {
+		for _, rep := range pt.Reports {
+			stored, err := st.Append(runstore.Run{
+				Source: "serve",
+				Commit: commit,
+				Labels: map[string]string{
+					"mix":     mix,
+					"sched":   rep.Scheduler,
+					"process": process,
+					"load":    fmt.Sprintf("%.2f", pt.OfferedLoad),
+				},
+				Metrics: ReportMetrics(rep),
+			})
+			if err != nil {
+				return out, err
+			}
+			out = append(out, stored)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"aimt/internal/runstore"
+)
+
+func testStore(t *testing.T) *runstore.Store {
+	t.Helper()
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	return st
+}
+
+// TestRecordCurve pins the serve→runstore mapping: one run per
+// (point, scheduler), labels carrying mix/sched/process/load, and the
+// shed/token rows present only when the report has them.
+func TestRecordCurve(t *testing.T) {
+	st := testStore(t)
+	points := []CurvePoint{
+		{OfferedLoad: 0.5, Reports: []*Report{
+			{Scheduler: "AI-MT", P50: 100, P99: 300, P999: 400, MissRate: 0.01, Throughput: 12.5, PEUtil: 0.4},
+			{Scheduler: "FIFO", P50: 150, P99: 900, P999: 1200, MissRate: 0.05, Throughput: 11.0, PEUtil: 0.38},
+		}},
+		{OfferedLoad: 1.1, Reports: []*Report{
+			{Scheduler: "AI-MT", P50: 400, P99: 2000, P999: 3000, MissRate: 0.2, Throughput: 18.0, PEUtil: 0.9,
+				Shed: 7, Tokens: 640, TokensPerMcycle: 55},
+			{Scheduler: "FIFO", P50: 600, P99: 4000, P999: 9000, MissRate: 0.4, Throughput: 15.0, PEUtil: 0.88},
+		}},
+	}
+	stored, err := RecordCurve(st, "heavy", "poisson", "abc1234", points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 4 {
+		t.Fatalf("stored %d runs, want 4", len(stored))
+	}
+	r := stored[2] // load 1.1, AI-MT, the one with shed + tokens
+	if r.Source != "serve" || r.Commit != "abc1234" {
+		t.Errorf("source/commit = %q/%q", r.Source, r.Commit)
+	}
+	for k, want := range map[string]string{"mix": "heavy", "sched": "AI-MT", "process": "poisson", "load": "1.10"} {
+		if got := r.Label(k); got != want {
+			t.Errorf("label %s = %q, want %q", k, got, want)
+		}
+	}
+	for name, want := range map[string]float64{
+		"p99 cycles": 2000, "miss rate": 0.2, "tput req/Mcyc": 18.0,
+		"shed count": 7, "tokens count": 640, "tokens tok/Mcyc": 55,
+	} {
+		v, ok := r.Metric(name)
+		if !ok || v != want {
+			t.Errorf("metric %s = %v (ok=%v), want %v", name, v, ok, want)
+		}
+	}
+	if _, ok := stored[0].Metric("shed count"); ok {
+		t.Error("shed count recorded for a report with no shedding")
+	}
+	if _, ok := stored[0].Metric("tokens count"); ok {
+		t.Error("tokens recorded for a single-phase report")
+	}
+
+	// The rows must round-trip through the JSONL file.
+	re, err := runstore.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(re.Runs()); got != 4 {
+		t.Fatalf("reopened store has %d runs, want 4", got)
+	}
+}

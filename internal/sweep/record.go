@@ -1,0 +1,42 @@
+package sweep
+
+import (
+	"aimt/internal/runstore"
+)
+
+// RecordOutcomes appends one run per successful sweep outcome to the
+// store: labels carry the job's mix and scheduler (plus any extra
+// labels shared by the batch), metrics the simulation's makespan,
+// utilization and block counts. Failed outcomes are skipped — their
+// errors surface through FirstError, not the history. It returns the
+// stored runs.
+func RecordOutcomes(st *runstore.Store, commit string, extra map[string]string, outs []Outcome) ([]runstore.Run, error) {
+	var stored []runstore.Run
+	for _, o := range outs {
+		if o.Res == nil {
+			continue
+		}
+		labels := map[string]string{"mix": o.Mix, "sched": o.Scheduler}
+		for k, v := range extra {
+			labels[k] = v
+		}
+		r, err := st.Append(runstore.Run{
+			Source: "sweep",
+			Commit: commit,
+			Labels: labels,
+			Metrics: []runstore.Metric{
+				{Name: "makespan cycles", Value: float64(o.Res.Makespan), Unit: "cycles"},
+				{Name: "pe util frac", Value: o.Res.PEUtilization(), Unit: "frac"},
+				{Name: "mem util frac", Value: o.Res.MemUtilization(), Unit: "frac"},
+				{Name: "mb count", Value: float64(o.Res.MBCount), Unit: "count"},
+				{Name: "cb count", Value: float64(o.Res.CBCount), Unit: "count"},
+				{Name: "splits count", Value: float64(o.Res.Splits), Unit: "count"},
+			},
+		})
+		if err != nil {
+			return stored, err
+		}
+		stored = append(stored, r)
+	}
+	return stored, nil
+}

@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"aimt/internal/runstore"
+)
+
+// TestRecordOutcomes runs a real (tiny) sweep and checks every
+// successful outcome lands in the store with its mix/sched labels and
+// simulator metrics, while failed outcomes are skipped rather than
+// recorded as zero rows.
+func TestRecordOutcomes(t *testing.T) {
+	jobs := testJobs(t)[:4]
+	outs := Run(jobs, Options{Workers: 2})
+	if err := FirstError(outs); err != nil {
+		t.Fatal(err)
+	}
+	outs = append(outs, Outcome{Mix: "broken", Scheduler: "none"}) // Res == nil
+
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+	stored, err := RecordOutcomes(st, "abc1234", map[string]string{"suite": "unit"}, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 4 {
+		t.Fatalf("stored %d runs, want 4 (failed outcome must be skipped)", len(stored))
+	}
+	for i, r := range stored {
+		if r.Source != "sweep" || r.Commit != "abc1234" {
+			t.Errorf("run %d source/commit = %q/%q", i, r.Source, r.Commit)
+		}
+		if r.Label("mix") != outs[i].Mix || r.Label("sched") != outs[i].Scheduler {
+			t.Errorf("run %d labels = %v, want mix=%q sched=%q", i, r.Labels, outs[i].Mix, outs[i].Scheduler)
+		}
+		if r.Label("suite") != "unit" {
+			t.Errorf("run %d missing extra label: %v", i, r.Labels)
+		}
+		v, ok := r.Metric("makespan cycles")
+		if !ok || v <= 0 {
+			t.Errorf("run %d makespan = %v (ok=%v), want > 0", i, v, ok)
+		}
+		if _, ok := r.Metric("pe util frac"); !ok {
+			t.Errorf("run %d missing pe util row", i)
+		}
+	}
+}
