@@ -31,6 +31,7 @@ import (
 	"aimt/internal/core"
 	"aimt/internal/nn"
 	"aimt/internal/obs"
+	"aimt/internal/rtrace"
 	"aimt/internal/runstore"
 	"aimt/internal/sched"
 	"aimt/internal/serve"
@@ -533,9 +534,81 @@ func CurrentCommit() string { return runstore.CurrentCommit() }
 
 // ObsAttachRuns registers the /runs HTML dashboard and /runs.json on
 // an admin mux; src supplies the run set per request and led (may be
-// nil) feeds the decision-timeline chart.
-func ObsAttachRuns(mux *http.ServeMux, src func() []StoredRun, led *ObsLedger) {
-	obs.AttachRuns(mux, src, led)
+// nil) feeds the decision-timeline chart. Each extra supplies one
+// additional HTML section per request (e.g. the request-trace
+// exemplar waterfall from RequestTraceStore.WaterfallHTML).
+func ObsAttachRuns(mux *http.ServeMux, src func() []StoredRun, led *ObsLedger, extras ...func() string) {
+	obs.AttachRuns(mux, src, led, extras...)
+}
+
+// Request tracing (extension): per-request span traces with
+// cycle-exact latency attribution, tail exemplars and an attribution
+// report; see internal/rtrace.
+
+// RequestTraceStore retains bounded request-trace state: worst-N tail
+// exemplars per class, a sampled ring of recent spans, and running
+// attribution aggregates; see rtrace.Store.
+type RequestTraceStore = rtrace.Store
+
+// RequestTraceOptions bounds a RequestTraceStore; see rtrace.Options.
+type RequestTraceOptions = rtrace.Options
+
+// RequestSpan is one request's end-to-end attributed trace; its
+// segments sum exactly to its latency; see rtrace.RequestSpan.
+type RequestSpan = rtrace.RequestSpan
+
+// RequestSegment is one attributed share of a request's latency; see
+// rtrace.Segment.
+type RequestSegment = rtrace.Segment
+
+// RequestAttribution is one row of the latency-attribution report;
+// see rtrace.Attribution.
+type RequestAttribution = rtrace.Attribution
+
+// RequestTraceCollector buckets engine occupancy events by network
+// instance for span attribution; it implements Tracer, so attach it
+// via RunOptions.Tracer; see rtrace.Collector.
+type RequestTraceCollector = rtrace.Collector
+
+// RequestSegmentKinds lists the attribution segment labels in
+// canonical report order.
+var RequestSegmentKinds = rtrace.SegmentKinds
+
+// NewRequestTraceStore returns a bounded request-trace store.
+func NewRequestTraceStore(opt RequestTraceOptions) *RequestTraceStore { return rtrace.NewStore(opt) }
+
+// NewRequestTraceCollector sizes a collector for a stream of nets
+// instances.
+func NewRequestTraceCollector(nets int) *RequestTraceCollector { return rtrace.NewCollector(nets) }
+
+// BuildRequestSpans attributes every request of a finished run: the
+// collector must have been the run's Tracer over the stream's nets.
+// run labels the spans (e.g. "AI-MT@0.80").
+func BuildRequestSpans(s *ServeStream, res *Result, run string, col *RequestTraceCollector) []RequestSpan {
+	return rtrace.Build(serve.TraceInput(s, res, run), col)
+}
+
+// AttachRequestTraces registers the /requests JSON endpoint (the
+// attribution report, tail exemplars and sampled recent spans) on an
+// admin mux.
+func AttachRequestTraces(mux *http.ServeMux, st *RequestTraceStore) { rtrace.Attach(mux, st) }
+
+// PrintRequestAttribution renders the latency-attribution report as
+// text tables.
+func PrintRequestAttribution(w io.Writer, rows []RequestAttribution) error {
+	return rtrace.PrintAttribution(w, rows)
+}
+
+// ClusterTraceRun is the outcome of ClusterTraceRequests: result,
+// span store and merged Perfetto tracks; see cluster.TraceRun.
+type ClusterTraceRun = cluster.TraceRun
+
+// ClusterTraceRequests runs a fixed-seed serving stream across a
+// cluster with request tracing and engine tracing on, and assembles
+// the merged Perfetto track set (chip occupancy overlaid with tail
+// exemplar request tracks); see cluster.TraceRequests.
+func ClusterTraceRequests(cfg Config, classes []ServeClass, spec SchedulerSpec, requests, chips int, load float64, seed int64) (*ClusterTraceRun, error) {
+	return cluster.TraceRequests(cfg, classes, spec, requests, chips, load, seed)
 }
 
 // RecordServeCurve appends one run per (load point, scheduler) of a

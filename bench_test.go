@@ -537,6 +537,36 @@ func BenchmarkServeStream(b *testing.B) {
 	b.ReportMetric(float64(blocks), "blocks/op")
 }
 
+// BenchmarkServeStreamTraced measures the same serving run with
+// request tracing on: the collector taps every occupancy event, and
+// each run pays span building plus store aggregation — the full cost
+// of explaining every request's latency.
+func BenchmarkServeStreamTraced(b *testing.B) {
+	cfg := PaperConfig()
+	stream, err := NewServeStream(cfg, DefaultServingClasses(), ServeStreamOptions{
+		Requests: 10_000,
+		Seed:     7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewRequestTraceStore(RequestTraceOptions{SampleEvery: 16})
+	var spans int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := NewRequestTraceCollector(len(stream.Nets))
+		res, err := Run(cfg, stream.Nets, NewAIMT(cfg, AllMechanisms()),
+			RunOptions{Arrivals: stream.Arrivals, Tracer: col})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := BuildRequestSpans(stream, res, "bench", col)
+		st.AddRun(sp)
+		spans = len(sp)
+	}
+	b.ReportMetric(float64(spans), "spans/op")
+}
+
 // BenchmarkCompile measures sub-layer table generation for the
 // largest network.
 func BenchmarkCompile(b *testing.B) {

@@ -39,9 +39,20 @@
 // a JSON snapshot with the scheduler decision ledger tail, and pprof:
 //
 //	aimt-serve -admin :8080            # /metrics, /healthz, /runs,
-//	                                   # /debug/snapshot, /debug/pprof/
+//	                                   # /requests, /debug/snapshot,
+//	                                   # /debug/pprof/
 //	aimt-serve -admin :8080 -hold 1m   # keep serving 1m after the sweep
 //	aimt-serve -ledger dec.jsonl       # dump the decision ledger
+//
+// Request tracing auto-enables with -admin (1-in-16 sampling plus the
+// worst tail exemplars per class): /requests serves the sampled spans
+// and the cycle-exact latency attribution as JSON, /runs grows a
+// tail-exemplar waterfall, and the sweep prints a per-class
+// attribution report on exit. -rtrace N forces 1-in-N sampling even
+// without -admin; -rtrace 0 turns tracing off:
+//
+//	aimt-serve -rtrace 1               # trace every request
+//	aimt-serve -admin :8080 -rtrace 0  # admin surface, no tracing
 //
 // With -runstore every report of the sweep is appended to an
 // append-only run history (one JSONL line per load point x policy,
@@ -103,6 +114,7 @@ type options struct {
 	decode      int
 	runstore    string
 	benchseed   string
+	rtrace      int
 }
 
 func main() {
@@ -131,6 +143,7 @@ func main() {
 	flag.IntVar(&opts.decode, "decode", -1, "with -transformer, override the chat class's decode iterations per request (-1 = default)")
 	flag.StringVar(&opts.runstore, "runstore", "", "append every report of the sweep to the run-history store under this directory")
 	flag.StringVar(&opts.benchseed, "benchseed", "BENCH_*.json", "glob of bench JSON artifacts ingested as seed history for the /runs dashboard")
+	flag.IntVar(&opts.rtrace, "rtrace", -1, "request tracing: sample 1-in-N requests into the tail-attribution store (0 = off, -1 = auto: on with -admin)")
 	flag.Parse()
 
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -196,6 +209,9 @@ func validate(opts options) ([]float64, []aimt.ClusterPolicySpec, error) {
 	}
 	if opts.hold > 0 && opts.admin == "" {
 		return nil, nil, errors.New("-hold requires -admin")
+	}
+	if opts.rtrace < -1 {
+		return nil, nil, fmt.Errorf("-rtrace must be -1 (auto), 0 (off) or a positive sampling divisor, got %d", opts.rtrace)
 	}
 	return loads, policies, nil
 }
@@ -265,6 +281,22 @@ func run(opts options) error {
 		reg = aimt.NewObsRegistry()
 		led = aimt.NewObsLedger(0)
 	}
+
+	// Request tracing: sampled spans plus worst-N tail exemplars,
+	// attributed cycle-by-cycle. Auto-enables with -admin so /requests
+	// and the /runs waterfall have data; off otherwise unless forced.
+	sample := opts.rtrace
+	if sample == -1 {
+		sample = 0
+		if opts.admin != "" {
+			sample = 16
+		}
+	}
+	var rstore *aimt.RequestTraceStore
+	if sample > 0 {
+		rstore = aimt.NewRequestTraceStore(aimt.RequestTraceOptions{SampleEvery: sample})
+	}
+
 	if opts.admin != "" {
 		mux := aimt.ObsHandler(reg, led)
 		profiling.AttachPprof(mux)
@@ -280,7 +312,10 @@ func run(opts options) error {
 				runs = append(runs, store.Runs()...)
 			}
 			return runs
-		}, led)
+		}, led, rstore.WaterfallHTML)
+		if rstore != nil {
+			aimt.AttachRequestTraces(mux, rstore)
+		}
 		// Bind synchronously so the endpoints answer for the whole
 		// sweep, not only once it finishes.
 		ln, err := net.Listen("tcp", opts.admin)
@@ -331,11 +366,12 @@ func run(opts options) error {
 				spec = aimt.ServePreemptiveAIMT()
 			}
 		}
-		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, store, mixName, opts)
+		err = runCluster(cfg, classes, spec, policies, gaps, sopts, reg, led, store, rstore, mixName, opts)
 	} else {
 		copts := aimt.ServeCurveOptions{
 			Stream: sopts, Gaps: gaps, Workers: opts.parallel,
 			CheckInvariants: opts.check, Metrics: reg, Ledger: led,
+			Trace: rstore,
 		}
 		var points []aimt.ServeCurvePoint
 		points, err = aimt.ServeLoadCurve(cfg, classes, schedulers, copts)
@@ -353,6 +389,18 @@ func run(opts options) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	if rstore != nil {
+		rows := rstore.Attribution()
+		if len(rows) > 0 {
+			total, shedCount, sampled := rstore.Totals()
+			fmt.Printf("\nRequest-latency attribution (%d requests, %d shed, %d sampled 1-in-%d):\n",
+				total, shedCount, sampled, rstore.SampleEvery())
+			if err := aimt.PrintRequestAttribution(os.Stdout, rows); err != nil {
+				return err
+			}
+		}
 	}
 
 	if opts.ledgerOut != "" {
@@ -380,7 +428,7 @@ func run(opts options) error {
 // cluster. Every chip runs the given scheduler (the first of the
 // -sched selection, AI-MT by default); -route narrows the routing
 // policies under comparison.
-func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, store *aimt.RunStore, mixName string, opts options) error {
+func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerSpec, policies []aimt.ClusterPolicySpec, gaps []aimt.Cycles, sopts aimt.ServeStreamOptions, reg *aimt.ObsRegistry, led *aimt.ObsLedger, store *aimt.RunStore, rstore *aimt.RequestTraceStore, mixName string, opts options) error {
 	if len(policies) == 0 {
 		policies = aimt.ClusterPolicies()
 	}
@@ -392,6 +440,7 @@ func runCluster(cfg aimt.Config, classes []aimt.ServeClass, spec aimt.SchedulerS
 		CheckInvariants: opts.check,
 		Metrics:         reg,
 		Ledger:          led,
+		Trace:           rstore,
 		Control: aimt.ClusterControl{
 			Admission: opts.admission,
 			Autoscale: opts.autoscale,

@@ -7,6 +7,18 @@
 //
 //	aimt-trace -mix "RN50/GNMT" -sched aimt-all
 //	aimt-trace -mix "RN34/GNMT" -sched rr -json trace.json -width 120
+//
+// With -requests N the command switches to request-trace mode: a
+// fixed-seed serving stream of N requests runs across a -chips
+// cluster at per-chip offered -load, with request tracing and engine
+// tracing both on. Stdout gets the per-class latency-attribution
+// report and the tail exemplars decomposed into named segments; -json
+// writes the merged Perfetto/Chrome export, overlaying one track per
+// tail exemplar onto the per-chip engine occupancy tracks, so a slow
+// request can be eyeballed against what the chips were doing:
+//
+//	aimt-trace -requests 400 -chips 2 -load 2 -json merged.json
+//	aimt-trace -requests 400 -transformer -seed 11
 package main
 
 import (
@@ -21,19 +33,88 @@ import (
 
 func main() {
 	var (
-		mixSpec = flag.String("mix", "RN50/GNMT", "co-location spec: compute nets / memory nets")
-		sched   = flag.String("sched", "aimt-all", "scheduler: fifo|rr|greedy|sjf|aimt-pf|aimt-merge|aimt-all")
-		batch   = flag.Int("batch", 1, "batch size")
-		width   = flag.Int("width", 100, "Gantt chart width in columns")
-		jsonOut = flag.String("json", "", "write Chrome trace_event JSON to this file")
-		util    = flag.Int("util", 0, "also print a utilization time series with this many windows")
+		mixSpec     = flag.String("mix", "RN50/GNMT", "co-location spec: compute nets / memory nets")
+		sched       = flag.String("sched", "aimt-all", "scheduler: fifo|rr|greedy|sjf|aimt-pf|aimt-merge|aimt-all")
+		batch       = flag.Int("batch", 1, "batch size")
+		width       = flag.Int("width", 100, "Gantt chart width in columns")
+		jsonOut     = flag.String("json", "", "write Chrome trace_event JSON to this file")
+		util        = flag.Int("util", 0, "also print a utilization time series with this many windows")
+		requests    = flag.Int("requests", 0, "request-trace mode: serve this many requests with per-request attribution (0 = classic mix trace)")
+		chips       = flag.Int("chips", 2, "with -requests, cluster size")
+		load        = flag.Float64("load", 2.0, "with -requests, per-chip offered load")
+		seed        = flag.Int64("seed", 7, "with -requests, stream seed")
+		transformer = flag.Bool("transformer", false, "with -requests, serve the transformer/CNN mix instead of CNN/RNN")
 	)
 	flag.Parse()
 
-	if err := run(*mixSpec, *sched, *batch, *width, *jsonOut, *util); err != nil {
+	var err error
+	if *requests > 0 {
+		err = runRequests(*requests, *chips, *load, *seed, *transformer, *jsonOut)
+	} else {
+		err = run(*mixSpec, *sched, *batch, *width, *jsonOut, *util)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aimt-trace:", err)
 		os.Exit(1)
 	}
+}
+
+// runRequests is request-trace mode: one fixed-seed serving run with
+// request + engine tracing on, attribution on stdout, and the merged
+// Perfetto export (engine occupancy + tail-exemplar tracks) on -json.
+func runRequests(requests, chips int, load float64, seed int64, transformer bool, jsonOut string) error {
+	cfg := aimt.PaperConfig()
+	classes := aimt.DefaultServingClasses()
+	mixName := "CNN/RNN"
+	if transformer {
+		classes = aimt.TransformerServingClasses()
+		mixName = "transformer/CNN"
+	}
+	var spec aimt.SchedulerSpec
+	for _, s := range aimt.ServeStandardSchedulers() {
+		if s.Name == "AI-MT" {
+			spec = s
+		}
+	}
+
+	tr, err := aimt.ClusterTraceRequests(cfg, classes, spec, requests, chips, load, seed)
+	if err != nil {
+		return err
+	}
+
+	total, shed, _ := tr.Store.Totals()
+	fmt.Printf("request trace: %s mix, %d requests across %d chips at per-chip load %.2f (seed %d)\n",
+		mixName, requests, chips, load, seed)
+	fmt.Printf("  served %d, shed %d, makespan %d cycles\n\n", total, shed, int64(tr.Result.Agg.Makespan))
+
+	if err := aimt.PrintRequestAttribution(os.Stdout, tr.Store.Attribution()); err != nil {
+		return err
+	}
+
+	fmt.Println("\ntail exemplars (segments sum exactly to latency):")
+	for _, sp := range tr.Store.Exemplars() {
+		flags := ""
+		if sp.Missed {
+			flags = "  MISSED"
+		}
+		fmt.Printf("  req %-4d %-8s chip %d  latency %d cyc%s\n", sp.Req, sp.Class, sp.Chip, int64(sp.Latency), flags)
+		for _, s := range sp.Totals {
+			fmt.Printf("    %-14s %12d cyc\n", s.Kind, int64(s.Cycles))
+		}
+	}
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteChromeTracks(f, tr.Tracks); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d merged tracks to %s\n", len(tr.Tracks), jsonOut)
+	}
+	return nil
 }
 
 func run(mixSpec, sched string, batch, width int, jsonOut string, utilWindows int) error {

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// WaterfallSegment is one colored slice of a waterfall bar, in the
+// row's own time coordinates.
+type WaterfallSegment struct {
+	// Kind picks the color: its index in the chart's Kinds order.
+	Kind string
+	// Start and End bound the slice.
+	Start, End float64
+}
+
+// WaterfallRow is one horizontal bar of a waterfall chart.
+type WaterfallRow struct {
+	Label    string
+	Segments []WaterfallSegment
+}
+
+// Waterfall describes one waterfall chart: rows of segmented
+// horizontal bars sharing an x axis starting at zero, with a legend
+// mapping segment kinds to palette slots.
+type Waterfall struct {
+	// Title names the chart; XLabel names the x unit.
+	Title  string
+	XLabel string
+	// Kinds fixes the legend order and color assignment; segments
+	// with kinds beyond the palette share the last slot.
+	Kinds []string
+	// W is the outer pixel width; zero means 640. Height follows the
+	// row count.
+	W int
+}
+
+// WaterfallSVG renders rows as one inline SVG waterfall chart, in the
+// same zero-dependency deterministic style as LineChartSVG. An empty
+// row set renders a placeholder frame.
+func WaterfallSVG(c Waterfall, rows []WaterfallRow) string {
+	w := c.W
+	if w <= 0 {
+		w = 640
+	}
+	const padL, padR, padT, rowH, rowGap = 170, 16, 34, 14, 6
+	legendRows := (len(c.Kinds) + 3) / 4
+	padB := 34 + 16*legendRows
+	h := padT + len(rows)*(rowH+rowGap) + padB
+	if len(rows) == 0 {
+		h = padT + 40 + padB
+	}
+	pw := w - padL - padR
+
+	color := func(kind string) string {
+		for i, k := range c.Kinds {
+			if k == kind {
+				if i >= len(chartPalette) {
+					break
+				}
+				return chartPalette[i]
+			}
+		}
+		return chartPalette[len(chartPalette)-1]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="%s">`,
+		w, h, w, h, html.EscapeString(c.Title))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<rect x="0.5" y="0.5" width="%d" height="%d" rx="6" fill="%s" stroke="%s"/>`, w-1, h-1, svgSurface, svgGridline)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<text x="14" y="22" fill="%s" font-family="system-ui,sans-serif" font-size="13" font-weight="600">%s</text>`,
+		svgInk, html.EscapeString(c.Title))
+	b.WriteString("\n")
+
+	xmax := math.Inf(-1)
+	for _, r := range rows {
+		for _, s := range r.Segments {
+			xmax = math.Max(xmax, s.End)
+		}
+	}
+	if len(rows) == 0 || xmax <= 0 || pw <= 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="12" text-anchor="middle">no data yet</text>`,
+			w/2, h/2, svgMuted)
+		b.WriteString("\n</svg>\n")
+		return b.String()
+	}
+	px := func(x float64) float64 { return float64(padL) + x/xmax*float64(pw) }
+
+	// Vertical gridlines + x tick labels at 4 even steps.
+	baseY := padT + len(rows)*(rowH+rowGap)
+	for i := 0; i <= 4; i++ {
+		x := xmax * float64(i) / 4
+		xx := px(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s"/>`, xx, padT, xx, baseY, svgGridline)
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			xx, baseY+14, svgMuted, svgNum(x))
+		b.WriteString("\n")
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="10">%s</text>`,
+			padL, padT-6, svgMuted, html.EscapeString(c.XLabel))
+		b.WriteString("\n")
+	}
+
+	for ri, r := range rows {
+		y := padT + ri*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			padL-6, y+rowH-3, svgInk2, html.EscapeString(r.Label))
+		b.WriteString("\n")
+		for _, s := range r.Segments {
+			if s.End <= s.Start {
+				continue
+			}
+			x0, x1 := px(s.Start), px(s.End)
+			// Keep every nonzero slice visible at narrow widths.
+			if x1-x0 < 0.5 {
+				x1 = x0 + 0.5
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s</title></rect>`,
+				x0, y, x1-x0, rowH, color(s.Kind), html.EscapeString(s.Kind))
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+		padL, baseY, w-padR, baseY, svgBaseline)
+	b.WriteString("\n")
+
+	// Legend: swatch + kind in text ink, four items per row.
+	for ki, k := range c.Kinds {
+		lx := padL + (ki%4)*(pw/4)
+		ly := baseY + 24 + 16*(ki/4)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" rx="2" fill="%s"/>`, lx, ly, color(k))
+		b.WriteString("\n")
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s" font-family="system-ui,sans-serif" font-size="11">%s</text>`,
+			lx+14, ly+9, svgInk2, html.EscapeString(k))
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -26,6 +26,7 @@ import (
 	"aimt/internal/arch"
 	"aimt/internal/metrics"
 	"aimt/internal/obs"
+	"aimt/internal/rtrace"
 	"aimt/internal/serve"
 	"aimt/internal/sim"
 	"aimt/internal/sweep"
@@ -59,6 +60,20 @@ type Options struct {
 	// shedding, elastic autoscaling). The zero value disables it and
 	// Serve takes the plain Dispatch path unchanged.
 	Control Control
+
+	// Trace, when non-nil, collects attributed per-request spans for
+	// the whole cluster run: each chip simulation gets an
+	// rtrace.Collector, the collectors are merged back into stream
+	// coordinates, and the spans (chip choice, predicted ETA and shed
+	// verdict included) land in Result.Spans and the store. Nil
+	// attaches no tracer.
+	Trace *rtrace.Store
+
+	// EngineTrace, when non-nil, supplies an occupancy tracer per chip
+	// (nil return skips that chip), e.g. a trace.Recorder per chip for
+	// a merged Perfetto export. Independent of Trace; when both are
+	// set the chip engines fan events out to both.
+	EngineTrace func(chip int) sim.Tracer
 }
 
 // Result is one policy's cluster serving outcome.
@@ -103,6 +118,10 @@ type Result struct {
 	// dispatch finished (== Chips with the control plane off).
 	ScaleUps, ScaleDowns int
 	ActiveChips          int
+
+	// Spans holds the attributed per-request traces when Options.Trace
+	// was set (request-granular, stream request ids); nil otherwise.
+	Spans []rtrace.RequestSpan
 }
 
 // Dispatch routes every request of the stream to a chip under the
@@ -113,6 +132,13 @@ type Result struct {
 // KV cache lives there — but still advances that chip's backlog by the
 // decode service estimate.
 func Dispatch(s *serve.Stream, pol Policy, chips int) ([]int, error) {
+	return dispatch(s, pol, chips, nil)
+}
+
+// dispatch is Dispatch with an optional etas sink: when non-nil (and
+// stream-length), each entry's dispatcher completion estimate at
+// routing time is recorded for the request tracer.
+func dispatch(s *serve.Stream, pol Policy, chips int, etas []arch.Cycles) ([]int, error) {
 	if chips <= 0 {
 		return nil, fmt.Errorf("cluster: chips must be positive, got %d", chips)
 	}
@@ -137,6 +163,9 @@ func Dispatch(s *serve.Stream, pol Policy, chips int) ([]int, error) {
 		if s.ChainAfter != nil && s.ChainAfter[i] >= 0 {
 			c := out[s.ChainAfter[i]]
 			out[i] = c
+			if etas != nil {
+				etas[i] = v.ETA(c, r)
+			}
 			v.route(c, r)
 			continue
 		}
@@ -145,6 +174,9 @@ func Dispatch(s *serve.Stream, pol Policy, chips int) ([]int, error) {
 			return nil, fmt.Errorf("cluster: policy %s routed request %d to chip %d, want [0,%d)", pol.Name(), i, c, chips)
 		}
 		out[i] = c
+		if etas != nil {
+			etas[i] = v.ETA(c, r)
+		}
 		v.route(c, r)
 	}
 	return out, nil
@@ -170,10 +202,14 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		// selecting it opts into forward-simulated ETAs implicitly.
 		ctl.Predictive = true
 	}
+	var etas []arch.Cycles
+	if opts.Trace != nil {
+		etas = make([]arch.Cycles, len(s.Nets))
+	}
 	if ctl.enabled() {
-		assign, shed, st, err = dispatchControlled(cfg, s, pol, chips, ctl, opts.Ledger)
+		assign, shed, st, err = dispatchControlled(cfg, s, pol, chips, ctl, opts.Ledger, etas)
 	} else {
-		assign, err = Dispatch(s, pol, chips)
+		assign, err = dispatch(s, pol, chips, etas)
 		st.active = chips
 	}
 	if err != nil {
@@ -191,6 +227,7 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 	subs := make([]*serve.Stream, chips)
 	var jobs []sweep.Job
 	var jobChip []int
+	var jobCols []*rtrace.Collector // parallel to jobs when tracing
 	for c := 0; c < chips; c++ {
 		if len(perChip[c]) == 0 {
 			continue
@@ -200,6 +237,25 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		var netClasses []string
 		if opts.Metrics != nil {
 			netClasses = sub.NetClasses()
+		}
+		var tracers []sim.Tracer
+		var col *rtrace.Collector
+		if opts.Trace != nil {
+			col = rtrace.NewCollector(len(sub.Nets))
+			tracers = append(tracers, col)
+		}
+		jobCols = append(jobCols, col)
+		if opts.EngineTrace != nil {
+			if t := opts.EngineTrace(c); t != nil {
+				tracers = append(tracers, t)
+			}
+		}
+		var tracer sim.Tracer
+		switch len(tracers) {
+		case 1:
+			tracer = tracers[0]
+		case 2:
+			tracer = sim.MultiTracer(tracers)
 		}
 		jobs = append(jobs, sweep.Job{
 			Mix:       sub.Name,
@@ -214,6 +270,7 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 				Metrics:         opts.Metrics,
 				Ledger:          opts.Ledger,
 				NetClasses:      netClasses,
+				Tracer:          tracer,
 			},
 		})
 		jobChip = append(jobChip, c)
@@ -276,6 +333,25 @@ func Serve(cfg arch.Config, s *serve.Stream, spec serve.SchedulerSpec, pol Polic
 		if res.PerChip[c] == nil {
 			res.PerChip[c] = &serve.Report{Scheduler: spec.Name}
 		}
+	}
+
+	if opts.Trace != nil {
+		// Merge the per-chip collectors into stream coordinates and
+		// attribute every request against the merged result; shed
+		// requests keep their failed admission prediction as the ETA.
+		gcol := rtrace.NewCollector(len(s.Nets))
+		for ji, col := range jobCols {
+			if col != nil {
+				gcol.Merge(col, perChip[jobChip[ji]])
+			}
+		}
+		in := serve.TraceInput(s, merged, fmt.Sprintf("%s/%s", spec.Name, pol.Name()))
+		in.Chip = assign
+		in.ETA = etas
+		in.Shed = shed
+		res.Spans = rtrace.Build(in, gcol)
+		opts.Trace.AddRun(res.Spans)
+		opts.Trace.Publish(opts.Metrics)
 	}
 
 	agg := serve.BuildReportShed(s, merged, shed)
@@ -363,6 +439,10 @@ type CurveOptions struct {
 	// Control configures the overload control plane for every run of
 	// the sweep; the zero value disables it.
 	Control Control
+
+	// Trace, when non-nil, collects attributed per-request spans from
+	// every cluster run of the sweep; see Options.Trace.
+	Trace *rtrace.Store
 }
 
 // CurvePoint is one offered-load point of a cluster load sweep: the
@@ -427,6 +507,7 @@ func LoadCurve(cfg arch.Config, classes []serve.Class, spec serve.SchedulerSpec,
 				Metrics:         opts.Metrics,
 				Ledger:          opts.Ledger,
 				Control:         opts.Control,
+				Trace:           opts.Trace,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("cluster: %s at gap %d: %w", pspec.Name, gap, err)

@@ -99,7 +99,7 @@ func ctlNote(led *obs.Ledger, cycle arch.Cycles, kind string, net int, detail ar
 // the shed mask, and the control-plane stats. With admission off and
 // the active set pinned at the full cluster it routes identically to
 // Dispatch.
-func dispatchControlled(cfg arch.Config, s *serve.Stream, pol Policy, chips int, ctl Control, led *obs.Ledger) ([]int, []bool, ctlStats, error) {
+func dispatchControlled(cfg arch.Config, s *serve.Stream, pol Policy, chips int, ctl Control, led *obs.Ledger, etas []arch.Cycles) ([]int, []bool, ctlStats, error) {
 	if chips <= 0 {
 		return nil, nil, ctlStats{}, fmt.Errorf("cluster: chips must be positive, got %d", chips)
 	}
@@ -185,6 +185,9 @@ func dispatchControlled(cfg arch.Config, s *serve.Stream, pol Policy, chips int,
 			}
 			c := assign[p]
 			assign[i] = c
+			if etas != nil {
+				etas[i] = v.ETA(c, r)
+			}
 			v.route(c, r)
 			continue
 		}
@@ -234,6 +237,9 @@ func dispatchControlled(cfg arch.Config, s *serve.Stream, pol Policy, chips int,
 				assign[i] = -1
 				shed[i] = true
 				st.shedCount++
+				if etas != nil {
+					etas[i] = best // the prediction that broke the deadline
+				}
 				ctlNote(led, r.Arrival, obs.KindShed, i, best-r.Deadline)
 				continue
 			}
@@ -244,6 +250,9 @@ func dispatchControlled(cfg arch.Config, s *serve.Stream, pol Policy, chips int,
 			return nil, nil, ctlStats{}, fmt.Errorf("cluster: policy %s routed request %d to chip %d, want [0,%d)", pol.Name(), i, c, active)
 		}
 		assign[i] = c
+		if etas != nil {
+			etas[i] = v.ETA(c, r)
+		}
 		v.route(c, r)
 	}
 	st.active = active

@@ -44,7 +44,7 @@ func TestPredictiveDeadlineDiffersFromStatic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred, _, _, err := dispatchControlled(cfg, s, Deadline{}, 2, Control{Predictive: true}, nil)
+	pred, _, _, err := dispatchControlled(cfg, s, Deadline{}, 2, Control{Predictive: true}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,11 +64,11 @@ func TestPredictiveDeadlineDiffersFromStatic(t *testing.T) {
 func TestPredictiveDispatchDeterministic(t *testing.T) {
 	cfg := testConfig(t)
 	s := prioStream(t, cfg, 150, 5, 3.0, 2)
-	a, _, _, err := dispatchControlled(cfg, s, Predictive{}, 2, Control{Predictive: true}, nil)
+	a, _, _, err := dispatchControlled(cfg, s, Predictive{}, 2, Control{Predictive: true}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, _, err := dispatchControlled(cfg, s, Predictive{}, 2, Control{Predictive: true}, nil)
+	b, _, _, err := dispatchControlled(cfg, s, Predictive{}, 2, Control{Predictive: true}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+package obs
+
+import "strings"
+
+// metricHelp curates the # HELP text for the repo's well-known metric
+// families. Families not listed fall back to a name-derived line in
+// helpFor, so the exposition always carries one HELP per family.
+var metricHelp = map[string]string{
+	// Engine telemetry (aimt_sim_*).
+	"aimt_sim_mb_prefetch_total":      "Memory blocks fetched from HBM into weight SRAM.",
+	"aimt_sim_mb_completed_total":     "Memory-block fetches completed.",
+	"aimt_sim_cb_completed_total":     "Compute blocks executed to completion on the PE array.",
+	"aimt_sim_cb_splits_total":        "Compute blocks split (halted early) by the scheduler.",
+	"aimt_sim_cb_merge_total":         "Split compute blocks merged back and resumed.",
+	"aimt_sim_evictions_total":        "Weight SRAM block evictions.",
+	"aimt_sim_preempt_total":          "Priority preemptions (a ready higher-priority request displaced an executing one).",
+	"aimt_sim_lookahead_total":        "Speculative lookahead forks simulated.",
+	"aimt_sim_nets_finished_total":    "Network instances finished.",
+	"aimt_sim_mem_busy_cycles_total":  "HBM channel busy cycles.",
+	"aimt_sim_pe_busy_cycles_total":   "PE-array busy cycles.",
+	"aimt_sim_host_busy_cycles_total": "Host PCIe link busy cycles.",
+	"aimt_sim_now_cycles":             "Current simulated cycle.",
+	"aimt_sim_active_nets":            "Network instances arrived and not yet finished.",
+	"aimt_sim_inflight":               "In-flight network instances (per class when labelled).",
+	"aimt_sim_avail_cb_cycles":        "AVL_CB level: cycles of prefetched compute ready to issue.",
+	"aimt_sim_sram_used_blocks":       "Weight SRAM blocks in use.",
+	"aimt_sim_sram_peak_blocks":       "Peak weight SRAM blocks in use.",
+	"aimt_sim_sram_total_blocks":      "Weight SRAM capacity in blocks.",
+	"aimt_sim_mem_util":               "HBM channel busy fraction.",
+	"aimt_sim_pe_util":                "PE-array busy fraction.",
+	"aimt_sim_host_queue_depth":       "Host transfer queue depth.",
+	"aimt_sim_mb_cycles":              "Memory-block fetch duration distribution (cycles).",
+	"aimt_sim_cb_cycles":              "Compute-block execution duration distribution (cycles).",
+
+	// Serving reports (aimt_serve_*).
+	"aimt_serve_requests_total":         "Stream entries served (phases count individually).",
+	"aimt_serve_sla_misses_total":       "Requests that finished after their deadline.",
+	"aimt_serve_shed_total":             "Requests dropped by admission control.",
+	"aimt_serve_class_requests_total":   "Requests per class, shed included.",
+	"aimt_serve_class_sla_misses_total": "Deadline misses per class.",
+	"aimt_serve_class_shed_total":       "Admission-shed requests per class.",
+	"aimt_serve_class_p99_cycles":       "Per-class p99 latency in cycles.",
+	"aimt_serve_phase_requests_total":   "Stream entries per request phase.",
+	"aimt_serve_phase_sla_misses_total": "Deadline misses per request phase.",
+	"aimt_serve_phase_shed_total":       "Admission-shed entries per request phase.",
+	"aimt_serve_phase_p99_cycles":       "Per-phase p99 latency in cycles.",
+	"aimt_serve_p50_cycles":             "Request latency p50 in cycles.",
+	"aimt_serve_p99_cycles":             "Request latency p99 in cycles.",
+	"aimt_serve_p999_cycles":            "Request latency p99.9 in cycles.",
+	"aimt_serve_miss_rate":              "Fraction of served requests that missed their deadline.",
+	"aimt_serve_throughput_per_mcycle":  "Completed requests per million cycles.",
+	"aimt_serve_tokens_per_mcycle":      "Generated tokens per million cycles.",
+	"aimt_serve_pe_util":                "PE busy fraction over the makespan.",
+	"aimt_serve_mem_util":               "HBM busy fraction over the makespan.",
+
+	// Cluster dispatch (aimt_cluster_*).
+	"aimt_cluster_requests_total":             "Requests routed by the cluster dispatcher.",
+	"aimt_cluster_sla_misses_total":           "Cluster-wide deadline misses.",
+	"aimt_cluster_shed_total":                 "Requests shed at the cluster front door.",
+	"aimt_cluster_scale_ups_total":            "Autoscaler active-set grow events.",
+	"aimt_cluster_scale_downs_total":          "Autoscaler active-set shrink events.",
+	"aimt_cluster_active_chips":               "Active chip count when dispatch finished.",
+	"aimt_cluster_imbalance":                  "PE-load imbalance across chips (0 = balanced).",
+	"aimt_cluster_chip_requests":              "Requests routed to the chip.",
+	"aimt_cluster_chip_p99_cycles":            "Per-chip p99 latency in cycles.",
+	"aimt_cluster_chip_pe_util":               "Per-chip PE busy fraction.",
+	"aimt_cluster_tokens_per_mcycle_per_chip": "Generated tokens per million cycles per chip.",
+
+	// Request tracing (aimt_rtrace_*).
+	"aimt_rtrace_requests_total":       "Requests attributed by the span tracer.",
+	"aimt_rtrace_shed_total":           "Shed requests seen by the span tracer.",
+	"aimt_rtrace_sampled_total":        "Requests retained in the sampled ring.",
+	"aimt_rtrace_mean_share":           "Mean share of class latency per attributed segment.",
+	"aimt_rtrace_tail_share":           "Share of worst-N exemplar latency per attributed segment.",
+	"aimt_rtrace_worst_latency_cycles": "Worst retained request latency per class in cycles.",
+
+	// Go runtime health (aimt_runtime_*).
+	"aimt_runtime_heap_bytes":  "Go heap bytes in use (runtime.MemStats.HeapAlloc).",
+	"aimt_runtime_goroutines":  "Live goroutines.",
+	"aimt_runtime_gc_total":    "Completed garbage-collection cycles.",
+	"aimt_runtime_gc_pause_ns": "Garbage-collection stop-the-world pause distribution (nanoseconds).",
+}
+
+// helpFor returns the # HELP text for a metric family.
+func helpFor(fam string) string {
+	if h, ok := metricHelp[fam]; ok {
+		return h
+	}
+	return strings.ReplaceAll(strings.TrimPrefix(fam, "aimt_"), "_", " ") + "."
+}

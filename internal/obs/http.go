@@ -18,7 +18,9 @@ type snapshotBody struct {
 
 // Handler returns the admin HTTP mux:
 //
-//	/metrics         Prometheus text exposition of the registry
+//	/metrics         Prometheus text exposition of the registry,
+//	                 Go runtime health (aimt_runtime_*) sampled at
+//	                 each scrape
 //	/healthz         liveness probe ("ok")
 //	/debug/snapshot  full registry + ledger tail as JSON
 //
@@ -31,7 +33,9 @@ func Handler(reg *Registry, led *Ledger) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
+	sampleRuntime := AttachRuntime(reg)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		sampleRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
 	})

@@ -267,8 +267,9 @@ func fmtFloat(v float64) string {
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format: counters and gauges verbatim, histograms as
 // summaries with quantile labels. Series are sorted bytewise and
-// # TYPE lines are emitted once per family, so the output is
-// deterministic for a fixed registry state.
+// # HELP and # TYPE lines are emitted once per family (curated help
+// text with a name-derived fallback), so the output is deterministic
+// for a fixed registry state.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 
@@ -277,6 +278,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	typeLine := func(fam, kind string) {
 		if !typed[fam] {
 			typed[fam] = true
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam, helpFor(fam))
 			fmt.Fprintf(&b, "# TYPE %s %s\n", fam, kind)
 		}
 	}

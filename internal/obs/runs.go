@@ -27,10 +27,19 @@ import (
 //
 // src supplies the run set per request (seed history plus store
 // contents); led, when non-nil, feeds the decision-timeline chart.
-func AttachRuns(mux *http.ServeMux, src func() []runstore.Run, led *Ledger) {
+// Each extra, when non-nil, supplies one additional HTML section per
+// request (e.g. the request-trace exemplar waterfall), rendered after
+// the ledger timeline; an extra returning "" is skipped.
+func AttachRuns(mux *http.ServeMux, src func() []runstore.Run, led *Ledger, extras ...func() string) {
 	mux.HandleFunc("/runs", func(w http.ResponseWriter, _ *http.Request) {
+		sections := make([]string, 0, len(extras))
+		for _, extra := range extras {
+			if extra != nil {
+				sections = append(sections, extra())
+			}
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		w.Write(RunsHTML(src(), led))
+		w.Write(RunsHTML(src(), led, sections...))
 	})
 	mux.HandleFunc("/runs.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -43,8 +52,9 @@ func AttachRuns(mux *http.ServeMux, src func() []runstore.Run, led *Ledger) {
 }
 
 // RunsHTML renders the dashboard page. It is a pure function of the
-// run set and ledger contents, so golden tests pin it byte-for-byte.
-func RunsHTML(runs []runstore.Run, led *Ledger) []byte {
+// run set, ledger contents and extra sections (pre-rendered HTML,
+// empty strings skipped), so golden tests pin it byte-for-byte.
+func RunsHTML(runs []runstore.Run, led *Ledger, extras ...string) []byte {
 	var b strings.Builder
 	b.WriteString(`<!doctype html>
 <html lang="en"><head><meta charset="utf-8"><title>aimt run history</title>
@@ -80,6 +90,11 @@ th{color:#52514e;font-weight:600} td.num{text-align:right;font-variant-numeric:t
 	writeTrajectorySection(&b, runs)
 	writeLoadCurveSection(&b, runs)
 	writeLedgerSection(&b, led)
+	for _, extra := range extras {
+		if extra != "" {
+			b.WriteString(extra)
+		}
+	}
 	writeRunsTable(&b, runs)
 
 	b.WriteString("</body></html>\n")

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+
+	"aimt/internal/arch"
+)
+
+// AttachRuntime registers Go runtime health series on the registry
+// and returns a sample function; each call refreshes the gauges and
+// folds new GC pauses into the pause histogram. Handler calls it once
+// and samples on every /metrics scrape, so long -hold runs expose
+// heap growth, goroutine leaks and GC pressure with zero background
+// work between scrapes.
+func AttachRuntime(reg *Registry) func() {
+	heap := reg.Gauge("aimt_runtime_heap_bytes")
+	goroutines := reg.Gauge("aimt_runtime_goroutines")
+	gcTotal := reg.Counter("aimt_runtime_gc_total")
+	pauses := reg.Histogram("aimt_runtime_gc_pause_ns")
+	var mu sync.Mutex
+	var seen uint32 // GC cycles already folded into the histogram
+	return func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(float64(ms.HeapAlloc))
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		mu.Lock()
+		defer mu.Unlock()
+		gcTotal.Add(int64(ms.NumGC - seen))
+		// PauseNs is a ring of the last 256 pauses; fold in only the
+		// cycles since the previous sample, skipping any overwritten by
+		// a burst of more than 256 collections between scrapes.
+		from := seen
+		if ms.NumGC > 256 && from < ms.NumGC-256 {
+			from = ms.NumGC - 256
+		}
+		for i := from; i < ms.NumGC; i++ {
+			pauses.Observe(arch.Cycles(ms.PauseNs[i%256]))
+		}
+		seen = ms.NumGC
+	}
+}

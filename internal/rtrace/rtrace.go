@@ -1,0 +1,452 @@
+// Package rtrace is the per-request span tracer: it turns the
+// engine's occupancy events into an attributed span per served
+// request, decomposing end-to-end latency cycle-exactly into named
+// segments (idle-in-queue, hbm-bound, pe-bound, preempted-out, host).
+//
+// The pipeline has three pieces:
+//
+//   - Collector implements sim.Tracer structurally and buckets every
+//     occupancy interval by network instance. It is attached per run
+//     (per chip in a cluster) and merged into stream coordinates.
+//   - Build folds a stream's metadata plus a finished sim.Result and
+//     a Collector into []RequestSpan: one span per request, one entry
+//     span per phase (prefill, each decode step), each partitioned
+//     into segments that sum exactly to finish − arrival.
+//   - Store (store.go) retains bounded state across runs: worst-N
+//     tail exemplars per class, a sampled ring of recent spans, and
+//     running attribution aggregates.
+//
+// Attribution rule: within an entry's [effective arrival, finish)
+// window every cycle gets exactly one label, chosen by priority
+// pe-bound > host > preempted-out > hbm-bound, with idle-in-queue as
+// the remainder. Because the labels partition the window, the
+// reconciliation identity Σ segments = finish − arrival holds by
+// construction, and chained entries telescope (each decode's
+// effective arrival is its predecessor's finish) so request segments
+// sum to last finish − head arrival.
+package rtrace
+
+import (
+	"sort"
+	"strings"
+
+	"aimt/internal/arch"
+)
+
+// Segment kinds, in canonical report order. Every attributed cycle
+// carries exactly one of these labels.
+const (
+	// SegQueue is time the entry was ready but no engine was doing its
+	// work: waiting for AVL_CB credit, for the PE array, or for its
+	// turn in the memory-block schedule.
+	SegQueue = "idle-in-queue"
+
+	// SegHBM is time the HBM channel was fetching this entry's own
+	// memory blocks while its PE work was stalled on them.
+	SegHBM = "hbm-bound"
+
+	// SegPE is time the PE array was executing this entry's compute
+	// blocks.
+	SegPE = "pe-bound"
+
+	// SegPreempt is time between a split-halted compute block and its
+	// resumption: the entry was preempted out by a higher-priority
+	// competitor.
+	SegPreempt = "preempted-out"
+
+	// SegHost is PCIe transfer time for this entry's input and output.
+	SegHost = "host"
+)
+
+// SegmentKinds lists every segment label in canonical report order.
+var SegmentKinds = []string{SegQueue, SegHBM, SegPE, SegPreempt, SegHost}
+
+// Segment is one attributed share of an entry or request window.
+type Segment struct {
+	Kind   string      `json:"kind"`
+	Cycles arch.Cycles `json:"cycles"`
+}
+
+// Interval is one contiguous attributed slice of an entry's window,
+// suitable for rendering as a waterfall bar or a Perfetto slice.
+type Interval struct {
+	Kind  string      `json:"kind"`
+	Start arch.Cycles `json:"start"`
+	End   arch.Cycles `json:"end"`
+}
+
+// EntrySpan is the attributed execution of one stream entry (one
+// request phase): a single-shot request's whole service, a
+// transformer prompt pass, or one decode iteration.
+type EntrySpan struct {
+	// Entry is the stream index of this phase.
+	Entry int `json:"entry"`
+
+	// Phase names the request phase ("single", "prefill", "decode").
+	Phase string `json:"phase,omitempty"`
+
+	// Arrive is the effective arrival: the stream arrival for a head
+	// entry, the predecessor's finish for a chained decode step.
+	Arrive arch.Cycles `json:"arrive"`
+
+	// Finish is the completion cycle.
+	Finish arch.Cycles `json:"finish"`
+
+	// Segments partition [Arrive, Finish): they sum exactly to
+	// Finish − Arrive. Zero-cycle kinds are omitted.
+	Segments []Segment `json:"segments"`
+
+	// Intervals is the same partition in time order, contiguous slices
+	// covering [Arrive, Finish) exactly.
+	Intervals []Interval `json:"intervals,omitempty"`
+}
+
+// RequestSpan is the end-to-end attributed trace of one request.
+type RequestSpan struct {
+	// Req is the request id (stream ReqOf value).
+	Req int `json:"req"`
+
+	// Run labels the sweep point that served the request, e.g.
+	// "AI-MT@0.80" or "AI-MT/least-work".
+	Run string `json:"run,omitempty"`
+
+	// Class is the request class name.
+	Class string `json:"class"`
+
+	// Chip is the chip the dispatcher routed the request to (0 for
+	// single-chip runs, -1 for shed requests).
+	Chip int `json:"chip"`
+
+	// ETA is the dispatcher's predicted completion cycle at routing
+	// time (0 when no dispatcher estimate was recorded). For shed
+	// requests it is the prediction that exceeded the deadline.
+	ETA arch.Cycles `json:"eta,omitempty"`
+
+	// Shed reports that admission control rejected the request; shed
+	// spans have no entries and zero latency.
+	Shed bool `json:"shed,omitempty"`
+
+	// Arrive is the head entry's stream arrival cycle.
+	Arrive arch.Cycles `json:"arrive"`
+
+	// Finish is the last entry's completion cycle.
+	Finish arch.Cycles `json:"finish"`
+
+	// Deadline is the last entry's absolute deadline.
+	Deadline arch.Cycles `json:"deadline"`
+
+	// Missed reports Finish > Deadline.
+	Missed bool `json:"missed,omitempty"`
+
+	// Latency is Finish − Arrive.
+	Latency arch.Cycles `json:"latency"`
+
+	// Totals sums each segment kind across entries. Because chained
+	// entries telescope, Totals sum exactly to Latency.
+	Totals []Segment `json:"totals"`
+
+	// Entries holds the per-phase spans in execution order.
+	Entries []EntrySpan `json:"entries"`
+}
+
+// peIval is one PE occupancy interval with enough identity to pair a
+// split-halted block with its resumption.
+type peIval struct {
+	start, end  arch.Cycles
+	layer, iter int
+	split       bool
+}
+
+type ival struct{ start, end arch.Cycles }
+
+// Collector buckets engine occupancy events by network instance. It
+// implements sim.Tracer structurally; attach it via
+// sim.Options.Tracer (alone or fanned out through sim.MultiTracer).
+// The zero Collector is unusable — size it with NewCollector.
+type Collector struct {
+	pe   [][]peIval
+	mem  [][]ival
+	host [][]ival
+}
+
+// NewCollector sizes a collector for a stream of nets instances.
+func NewCollector(nets int) *Collector {
+	return &Collector{
+		pe:   make([][]peIval, nets),
+		mem:  make([][]ival, nets),
+		host: make([][]ival, nets),
+	}
+}
+
+// Event implements the sim.Tracer contract. Events for out-of-range
+// instances (host warm-up probes, etc.) are dropped.
+func (c *Collector) Event(engine, name string, net, layer, iter int, start, end arch.Cycles) {
+	if net < 0 || net >= len(c.pe) || end <= start {
+		return
+	}
+	switch engine {
+	case "pe":
+		split := strings.HasPrefix(name, "CB(split)")
+		c.pe[net] = append(c.pe[net], peIval{start, end, layer, iter, split})
+	case "mem":
+		c.mem[net] = append(c.mem[net], ival{start, end})
+	case "host":
+		c.host[net] = append(c.host[net], ival{start, end})
+	}
+}
+
+// Merge folds a sub-collector recorded over a chip-local sub-stream
+// into c, translating local instance li to global instance remap[li].
+func (c *Collector) Merge(sub *Collector, remap []int) {
+	for li, gi := range remap {
+		if li >= len(sub.pe) || gi < 0 || gi >= len(c.pe) {
+			continue
+		}
+		c.pe[gi] = append(c.pe[gi], sub.pe[li]...)
+		c.mem[gi] = append(c.mem[gi], sub.mem[li]...)
+		c.host[gi] = append(c.host[gi], sub.host[li]...)
+	}
+}
+
+// Input adapts a finished run to the span builder without importing
+// the serve package: all slices are indexed by stream entry.
+type Input struct {
+	// Run labels the sweep point (scheduler@load or scheduler/policy).
+	Run string
+
+	// Classes and ClassOf name each entry's request class.
+	Classes []string
+	ClassOf []int
+
+	// ReqOf maps entries to request ids (dense, ascending); nil means
+	// entry index and request id coincide.
+	ReqOf []int
+
+	// Phases names each entry's phase ("single", "prefill", "decode");
+	// nil means all single-phase.
+	Phases []string
+
+	// StreamArrive is each entry's stream arrival cycle; Deadlines
+	// each entry's absolute deadline.
+	StreamArrive []arch.Cycles
+	Deadlines    []arch.Cycles
+
+	// Arrive and Finish are the result's effective arrival and finish
+	// cycles (sim.Result.NetArrive / NetFinish).
+	Arrive []arch.Cycles
+	Finish []arch.Cycles
+
+	// Chip is each entry's routed chip; nil means chip 0. ETA is the
+	// dispatcher's predicted completion at routing time; nil means no
+	// estimate. Shed marks admission-rejected entries; nil means none.
+	Chip []int
+	ETA  []arch.Cycles
+	Shed []bool
+}
+
+// Build attributes every request in the input against the collected
+// occupancy intervals. Requests whose entries did not finish (run
+// truncated by MaxCycles) are dropped. The collector may be nil only
+// if the input has no finished entries.
+func Build(in Input, c *Collector) []RequestSpan {
+	n := len(in.ClassOf)
+	if n == 0 {
+		return nil
+	}
+	// Group entries by request id, preserving entry order.
+	groups := make([][]int, 0, n)
+	at := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		req := i
+		if in.ReqOf != nil {
+			req = in.ReqOf[i]
+		}
+		gi, ok := at[req]
+		if !ok {
+			gi = len(groups)
+			at[req] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+
+	out := make([]RequestSpan, 0, len(groups))
+	for _, g := range groups {
+		head, last := g[0], g[len(g)-1]
+		req := head
+		if in.ReqOf != nil {
+			req = in.ReqOf[head]
+		}
+		sp := RequestSpan{
+			Req:      req,
+			Run:      in.Run,
+			Class:    in.Classes[in.ClassOf[head]],
+			Arrive:   in.StreamArrive[head],
+			Deadline: in.Deadlines[last],
+		}
+		if in.Chip != nil {
+			sp.Chip = in.Chip[head]
+		}
+		if in.ETA != nil {
+			sp.ETA = in.ETA[head]
+		}
+		if in.Shed != nil && in.Shed[head] {
+			sp.Shed = true
+			sp.Chip = -1
+			out = append(out, sp)
+			continue
+		}
+
+		totals := map[string]arch.Cycles{}
+		done := true
+		for _, i := range g {
+			a, f := in.Arrive[i], in.Finish[i]
+			if f < a || (f == 0 && a > 0) {
+				done = false // truncated run: entry never finished
+				break
+			}
+			es := EntrySpan{Entry: i, Arrive: a, Finish: f}
+			if in.Phases != nil {
+				es.Phase = in.Phases[i]
+			}
+			es.Segments, es.Intervals = attribute(a, f, c.pe[i], c.mem[i], c.host[i])
+			for _, s := range es.Segments {
+				totals[s.Kind] += s.Cycles
+			}
+			sp.Entries = append(sp.Entries, es)
+		}
+		if !done {
+			continue
+		}
+		sp.Finish = in.Finish[last]
+		sp.Latency = sp.Finish - sp.Arrive
+		sp.Missed = sp.Finish > sp.Deadline
+		for _, k := range SegmentKinds {
+			if totals[k] > 0 {
+				sp.Totals = append(sp.Totals, Segment{Kind: k, Cycles: totals[k]})
+			}
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Classification priorities: lower wins when intervals overlap.
+const (
+	prioPE = iota
+	prioHost
+	prioPreempt
+	prioHBM
+	nPrio
+)
+
+var prioKind = [nPrio + 1]string{SegPE, SegHost, SegPreempt, SegHBM, SegQueue}
+
+// bnd is one sweep boundary: at cycle `at`, priority `prio` gains
+// (+1) or loses (-1) one covering interval.
+type bnd struct {
+	at    arch.Cycles
+	prio  int
+	delta int
+}
+
+// attribute partitions [a, f) into labelled segments using the
+// collected occupancy intervals for one entry. The returned intervals
+// cover the window exactly; the segments are the per-kind sums.
+func attribute(a, f arch.Cycles, pe []peIval, mem, host []ival) ([]Segment, []Interval) {
+	if f <= a {
+		return nil, nil
+	}
+	bs := make([]bnd, 0, 2*(len(pe)+len(mem)+len(host))+8)
+	add := func(prio int, s, e arch.Cycles) {
+		if s < a {
+			s = a
+		}
+		if e > f {
+			e = f
+		}
+		if s < e {
+			bs = append(bs, bnd{s, prio, 1}, bnd{e, prio, -1})
+		}
+	}
+	for _, iv := range pe {
+		add(prioPE, iv.start, iv.end)
+	}
+	for _, iv := range host {
+		add(prioHost, iv.start, iv.end)
+	}
+	for _, iv := range mem {
+		add(prioHBM, iv.start, iv.end)
+	}
+	// A split-halted compute block is preempted out until the next PE
+	// interval for the same (layer, iter) begins.
+	for i, iv := range pe {
+		if !iv.split {
+			continue
+		}
+		resume := f
+		for j, jv := range pe {
+			if j == i || jv.layer != iv.layer || jv.iter != iv.iter {
+				continue
+			}
+			if jv.start >= iv.end && jv.start < resume {
+				resume = jv.start
+			}
+		}
+		add(prioPreempt, iv.end, resume)
+	}
+
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].at != bs[j].at {
+			return bs[i].at < bs[j].at
+		}
+		if bs[i].prio != bs[j].prio {
+			return bs[i].prio < bs[j].prio
+		}
+		return bs[i].delta < bs[j].delta
+	})
+
+	var counts [nPrio]int
+	kindAt := func() string {
+		for p := 0; p < nPrio; p++ {
+			if counts[p] > 0 {
+				return prioKind[p]
+			}
+		}
+		return SegQueue
+	}
+	var ivs []Interval
+	sums := map[string]arch.Cycles{}
+	emit := func(from, to arch.Cycles, kind string) {
+		if to <= from {
+			return
+		}
+		sums[kind] += to - from
+		if n := len(ivs); n > 0 && ivs[n-1].Kind == kind && ivs[n-1].End == from {
+			ivs[n-1].End = to
+			return
+		}
+		ivs = append(ivs, Interval{Kind: kind, Start: from, End: to})
+	}
+	cur := a
+	for i := 0; i < len(bs); {
+		at := bs[i].at
+		emit(cur, at, kindAt())
+		if at > cur {
+			cur = at
+		}
+		for i < len(bs) && bs[i].at == at {
+			counts[bs[i].prio] += bs[i].delta
+			i++
+		}
+	}
+	emit(cur, f, kindAt())
+
+	segs := make([]Segment, 0, len(sums))
+	for _, k := range SegmentKinds {
+		if sums[k] > 0 {
+			segs = append(segs, Segment{Kind: k, Cycles: sums[k]})
+		}
+	}
+	return segs, ivs
+}

@@ -8,6 +8,7 @@ import (
 	"aimt/internal/core"
 	"aimt/internal/metrics"
 	"aimt/internal/obs"
+	"aimt/internal/rtrace"
 	"aimt/internal/sched"
 	"aimt/internal/sim"
 	"aimt/internal/sweep"
@@ -388,6 +389,13 @@ type CurveOptions struct {
 	// run of the sweep (interleaved across parallel runs; entries
 	// carry per-run network indices).
 	Ledger *obs.Ledger
+
+	// Trace, when non-nil, receives attributed per-request spans from
+	// every run of the sweep: each run gets its own rtrace.Collector
+	// as the engine tracer, and its spans (labelled "scheduler@load")
+	// are folded into the store in job order after the sweep. Nil
+	// attaches no tracer, keeping the hot path allocation-free.
+	Trace *rtrace.Store
 }
 
 // DefaultGapFactors are the offered loads walked when CurveOptions
@@ -424,6 +432,7 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 
 	streams := make([]*Stream, len(gaps))
 	var jobs []sweep.Job
+	var cols []*rtrace.Collector // parallel to jobs when tracing
 	for gi, gap := range gaps {
 		sopts := opts.Stream
 		sopts.MeanGap = gap
@@ -439,6 +448,12 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 		for _, spec := range schedulers {
 			spec := spec
 			s := s
+			var tracer sim.Tracer
+			if opts.Trace != nil {
+				col := rtrace.NewCollector(len(s.Nets))
+				cols = append(cols, col)
+				tracer = col
+			}
 			jobs = append(jobs, sweep.Job{
 				Mix:       s.Name,
 				Scheduler: spec.Name,
@@ -451,6 +466,7 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 					Metrics:    opts.Metrics,
 					Ledger:     opts.Ledger,
 					NetClasses: netClasses,
+					Tracer:     tracer,
 				},
 			})
 		}
@@ -470,8 +486,39 @@ func LoadCurve(cfg arch.Config, classes []Class, schedulers []SchedulerSpec, opt
 		rep.Scheduler = o.Scheduler
 		rep.Publish(opts.Metrics)
 		points[gi].Reports = append(points[gi].Reports, rep)
+		if opts.Trace != nil {
+			run := fmt.Sprintf("%s@%.2f", o.Scheduler, points[gi].OfferedLoad)
+			opts.Trace.AddRun(rtrace.Build(TraceInput(streams[gi], o.Res, run), cols[o.Index]))
+		}
+	}
+	if opts.Trace != nil {
+		opts.Trace.Publish(opts.Metrics)
 	}
 	return points, nil
+}
+
+// TraceInput adapts a stream plus its finished result to the
+// request-span builder (rtrace.Build). The caller fills the cluster
+// fields (Chip, ETA, Shed) when they apply.
+func TraceInput(s *Stream, res *sim.Result, run string) rtrace.Input {
+	in := rtrace.Input{
+		Run:          run,
+		Classes:      s.Classes,
+		ClassOf:      s.ClassOf,
+		ReqOf:        s.ReqOf,
+		StreamArrive: s.Arrivals,
+		Deadlines:    s.Deadlines,
+		Arrive:       res.NetArrive,
+		Finish:       res.NetFinish,
+	}
+	if s.PhaseOf != nil {
+		ph := make([]string, len(s.PhaseOf))
+		for i, p := range s.PhaseOf {
+			ph[i] = p.String()
+		}
+		in.Phases = ph
+	}
+	return in
 }
 
 // PrintCurve renders a load sweep as one table per offered-load point.

@@ -1,0 +1,18 @@
+package sim
+
+import "aimt/internal/arch"
+
+// MultiTracer fans one engine's event stream out to several tracers,
+// so a run can feed e.g. an occupancy recorder and a request-span
+// collector at once. Like any non-nil Tracer it costs one interface
+// call per event; use a single tracer (or nil) on hot paths.
+type MultiTracer []Tracer
+
+// Event implements Tracer.
+func (m MultiTracer) Event(engine, name string, net, layer, iter int, start, end arch.Cycles) {
+	for _, t := range m {
+		if t != nil {
+			t.Event(engine, name, net, layer, iter, start, end)
+		}
+	}
+}

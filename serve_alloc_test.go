@@ -42,3 +42,33 @@ func TestServeStreamAllocsFlatAt8x(t *testing.T) {
 			delta, small, large)
 	}
 }
+
+// TestServeStreamTracingDisabledAllocFree pins that the request-trace
+// plumbing costs nothing when disabled: an explicit nil tracer must
+// allocate exactly as much as leaving the field unset, so the hot
+// path never pays for hooks it isn't using.
+func TestServeStreamTracingDisabledAllocFree(t *testing.T) {
+	cfg := PaperConfig()
+	s, err := NewServeStream(cfg, DefaultServingClasses(), ServeStreamOptions{
+		Requests: 200,
+		Process:  ServePoisson,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(opts RunOptions) float64 {
+		once := func() {
+			if _, err := Run(cfg, s.Nets, NewAIMT(cfg, AllMechanisms()), opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		once() // warm the pooled engine's arena
+		return testing.AllocsPerRun(10, once)
+	}
+	base := measure(RunOptions{Arrivals: s.Arrivals, ChainAfter: s.ChainAfter})
+	off := measure(RunOptions{Arrivals: s.Arrivals, ChainAfter: s.ChainAfter, Tracer: nil})
+	if off != base {
+		t.Errorf("nil tracer changed allocations: %.0f with tracing disabled, %.0f baseline", off, base)
+	}
+}
